@@ -1,0 +1,103 @@
+"""Benchmarks regenerating the core-level experiments (Chapter 3).
+
+Each benchmark times the generator (so pytest-benchmark records the cost of
+regenerating the experiment) and asserts the qualitative claims the
+corresponding table/figure supports in the dissertation.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table_3_1(benchmark, report):
+    """PE design points: DP power efficiency tens of GFLOPS/W, SP ~2x better."""
+    rows = benchmark(lambda: run_experiment("table_3_1"))
+    report("table_3_1", rows)
+    sp = [r for r in rows if r["precision"] == "SP"]
+    dp = [r for r in rows if r["precision"] == "DP"]
+    assert len(sp) == 4 and len(dp) == 4
+    # Every design point: positive area, power, efficiency.
+    assert all(r["area_mm2"] > 0 and r["pe_mw"] > 0 and r["gflops_per_w"] > 0 for r in rows)
+    # SP is substantially more power-efficient than DP at comparable clocks.
+    sp_1ghz = next(r for r in sp if abs(r["frequency_ghz"] - 0.98) < 0.1)
+    dp_1ghz = next(r for r in dp if abs(r["frequency_ghz"] - 0.95) < 0.1)
+    assert sp_1ghz["gflops_per_w"] > 1.8 * dp_1ghz["gflops_per_w"]
+    # DP at ~1 GHz sits in the tens of GFLOPS/W (paper: ~46 GFLOPS/W per PE).
+    assert 25.0 <= dp_1ghz["gflops_per_w"] <= 70.0
+    # Power efficiency falls monotonically with frequency within a precision.
+    dp_sorted = sorted(dp, key=lambda r: r["frequency_ghz"])
+    effs = [r["gflops_per_w"] for r in dp_sorted]
+    assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+
+def test_fig_3_4(benchmark, report):
+    """Core utilisation vs local store & bandwidth: more of either never hurts."""
+    rows = benchmark(lambda: run_experiment("fig_3_4"))
+    report("fig_3_4", rows)
+    assert all(0.0 < r["utilization_pct"] <= 100.0 for r in rows)
+    # At 8 B/cycle and a generous local store the nr=4 core reaches ~100%.
+    best = [r for r in rows if r["nr"] == 4 and r["bandwidth_bytes_per_cycle"] == 8
+            and r["local_store_kbytes_per_pe"] > 15]
+    assert best and all(r["utilization_pct"] > 95.0 for r in best)
+    # At a fixed bandwidth, utilisation is monotone in the local store size.
+    series = sorted((r for r in rows if r["nr"] == 4 and r["bandwidth_bytes_per_cycle"] == 2),
+                    key=lambda r: r["local_store_kbytes_per_pe"])
+    utils = [r["utilization_pct"] for r in series]
+    assert all(b >= a - 1e-9 for a, b in zip(utils, utils[1:]))
+    # Starved bandwidth (1 B/cycle) with a small store cannot reach peak.
+    starved = [r for r in rows if r["nr"] == 4 and r["bandwidth_bytes_per_cycle"] == 1
+               and r["local_store_kbytes_per_pe"] < 4]
+    assert starved and all(r["utilization_pct"] < 95.0 for r in starved)
+
+
+def test_fig_3_5(benchmark, report):
+    """Bandwidth needed for peak falls as the local store grows; nr=8 needs more."""
+    rows = benchmark(lambda: run_experiment("fig_3_5"))
+    report("fig_3_5", rows)
+    for nr in (4, 8):
+        series = sorted((r for r in rows if r["nr"] == nr),
+                        key=lambda r: r["local_store_kbytes_per_pe"])
+        bws = [r["bandwidth_bytes_per_cycle"] for r in series]
+        assert all(a >= b - 1e-9 for a, b in zip(bws, bws[1:]))
+    # At matched local store, the 8x8 core demands more bandwidth than the 4x4.
+    by_kc_4 = {round(r["local_store_kbytes_per_pe"]): r["bandwidth_bytes_per_cycle"]
+               for r in rows if r["nr"] == 4}
+    for r in rows:
+        if r["nr"] == 8:
+            partner = by_kc_4.get(round(r["local_store_kbytes_per_pe"]))
+            if partner is not None:
+                assert r["bandwidth_bytes_per_cycle"] > partner
+
+
+def test_fig_3_6_3_7(benchmark, report):
+    """PE metric sweep: ~1 GHz is the sweet spot between the competing metrics."""
+    rows = benchmark(lambda: run_experiment("fig_3_6"))
+    report("fig_3_6", rows)
+    by_f = {r["frequency_ghz"]: r for r in rows}
+    # Energy-delay keeps improving with frequency; area efficiency too.
+    assert by_f[1.0]["energy_delay"] < by_f[0.33]["energy_delay"]
+    assert by_f[1.0]["mm2_per_gflop"] < by_f[0.33]["mm2_per_gflop"]
+    # Power efficiency degrades sharply beyond ~1 GHz (40%+ worse at 1.81 GHz).
+    assert by_f[1.81]["gflops_per_w"] < 0.75 * by_f[0.95]["gflops_per_w"]
+    # The sweet-spot finder lands near 1 GHz.
+    from repro.arch.lap_design import find_sweet_spot_frequency
+    from repro.hw.fpu import Precision
+    assert 0.5 <= find_sweet_spot_frequency(Precision.DOUBLE) <= 1.6
+
+
+def test_table_3_2(benchmark, report):
+    """Core-level comparison: the LAC leads every competitor in GFLOPS/W."""
+    rows = benchmark(lambda: run_experiment("table_3_2"))
+    report("table_3_2", rows)
+    lac_sp = next(r for r in rows if r["architecture"] == "LAC (SP)")
+    lac_dp = next(r for r in rows if r["architecture"] == "LAC (DP)")
+    competitors_sp = [r for r in rows if not r["is_lap"] and r["precision"] == "single"]
+    competitors_dp = [r for r in rows if not r["is_lap"] and r["precision"] == "double"]
+    assert all(lac_sp["gflops_per_w"] > r["gflops_per_w"] for r in competitors_sp)
+    assert all(lac_dp["gflops_per_w"] > r["gflops_per_w"] for r in competitors_dp)
+    # An order of magnitude against GPU streaming multiprocessors.
+    gtx280 = next(r for r in rows if r["architecture"] == "Nvidia GTX280 SM")
+    assert lac_sp["gflops_per_w"] > 10 * gtx280["gflops_per_w"]
+    # Area efficiency (GFLOPS/mm^2) of the LAC is also the best in class.
+    assert all(lac_sp["gflops_per_mm2"] >= r["gflops_per_mm2"] for r in competitors_sp)

@@ -1,0 +1,90 @@
+"""Benchmarks regenerating the matrix-factorization experiments (Chap. 6 / App. A)."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig_6_5(benchmark, report):
+    """LAC area breakdown: the divide/sqrt extensions cost only a few percent."""
+    rows = benchmark(lambda: run_experiment("fig_6_5"))
+    report("fig_6_5", rows)
+    by_option = {r["option"]: r for r in rows}
+    assert by_option["sw"]["sfu_area_mm2"] == 0.0
+    assert by_option["isolate"]["sfu_area_mm2"] > 0.0
+    assert by_option["diag"]["sfu_area_mm2"] > 0.0
+    # Hardware options add well under 5% to the core area.
+    for option in ("isolate", "diag"):
+        assert by_option[option]["overhead_pct"] < 5.0
+
+
+def test_fig_6_6(benchmark, report):
+    """Vector-norm efficiency: hardware sqrt and the exponent extension help."""
+    rows = benchmark(lambda: run_experiment("fig_6_6_6_7"))
+    report("fig_6_6_6_7", rows[:20])
+    vnorm = [r for r in rows if r["kernel"] == "vnorm"]
+    # For every size, diagonal-PE hardware beats the software option.
+    for k in {r["k"] for r in vnorm}:
+        sw = next(r for r in vnorm if r["k"] == k and r["sfu"] == "sw"
+                  and r["mac_extension"] == "none")
+        diag = next(r for r in vnorm if r["k"] == k and r["sfu"] == "diag"
+                    and r["mac_extension"] == "none")
+        assert diag["gflops_per_w"] > sw["gflops_per_w"]
+    # The exponent extension improves efficiency at fixed placement and size.
+    base = next(r for r in vnorm if r["k"] == 256 and r["sfu"] == "diag"
+                and r["mac_extension"] == "none")
+    ext = next(r for r in vnorm if r["k"] == 256 and r["sfu"] == "diag"
+               and r["mac_extension"] == "exponent")
+    assert ext["gflops_per_w"] > base["gflops_per_w"]
+    assert ext["cycles"] < base["cycles"]
+
+
+def test_fig_6_7(benchmark, report):
+    """LU efficiency: the comparator extension and bigger panels help."""
+    rows = benchmark(lambda: run_experiment("fig_6_6_6_7"))
+    lu = [r for r in rows if r["kernel"] == "lu"]
+    # Comparator beats the baseline at every placement and size.
+    for placement in ("sw", "isolate", "diag"):
+        for k in {r["k"] for r in lu}:
+            base = next(r for r in lu if r["k"] == k and r["sfu"] == placement
+                        and r["mac_extension"] == "none")
+            cmp_ = next(r for r in lu if r["k"] == k and r["sfu"] == placement
+                        and r["mac_extension"] == "comparator")
+            assert cmp_["gflops_per_w"] >= base["gflops_per_w"]
+    # Efficiency grows with the panel height (more work amortises serial steps).
+    diag_cmp = sorted((r for r in lu if r["sfu"] == "diag"
+                       and r["mac_extension"] == "comparator"), key=lambda r: r["k"])
+    effs = [r["gflops_per_w"] for r in diag_cmp]
+    assert all(b >= a for a, b in zip(effs, effs[1:]))
+
+
+def test_fig_a4_a8_area_and_energy_delay(benchmark, report):
+    """Area efficiency and inverse energy-delay follow the same ordering."""
+    rows = benchmark(lambda: run_experiment("fig_6_6_6_7"))
+    for kernel in ("lu", "vnorm"):
+        subset = [r for r in rows if r["kernel"] == kernel and r["k"] == 256]
+        sw = next(r for r in subset if r["sfu"] == "sw" and r["mac_extension"] == "none")
+        diag = next(r for r in subset if r["sfu"] == "diag" and r["mac_extension"] == "none")
+        assert diag["gflops_per_mm2"] > sw["gflops_per_mm2"]
+        assert diag["inverse_energy_delay"] > sw["inverse_energy_delay"]
+
+
+def test_table_a_2(benchmark, report):
+    """Cycle counts / energy across architecture options and problem sizes."""
+    rows = benchmark(lambda: run_experiment("table_a_2"))
+    report("table_a_2", rows[:18])
+    kernels = {r["kernel"] for r in rows}
+    assert {"cholesky", "lu", "vnorm"} <= kernels
+    assert all(r["cycles"] > 0 and r["dynamic_energy_nj"] > 0 for r in rows)
+    # LU with larger panels costs more cycles and more energy.
+    lu_diag = sorted((r for r in rows if r["kernel"] == "lu" and r["sfu"] == "diag"
+                      and r["mac_extension"] == "comparator"), key=lambda r: r["k"])
+    assert lu_diag[0]["cycles"] < lu_diag[-1]["cycles"]
+    assert lu_diag[0]["dynamic_energy_nj"] < lu_diag[-1]["dynamic_energy_nj"]
+    # The software divide/sqrt option is always the slowest for the same kernel/size.
+    for kernel in ("lu", "vnorm"):
+        for k in {r["k"] for r in rows if r["kernel"] == kernel}:
+            options = {r["sfu"]: r["cycles"] for r in rows
+                       if r["kernel"] == kernel and r["k"] == k and r["mac_extension"] == "none"}
+            assert options["sw"] >= options["isolate"]
+            assert options["sw"] >= options["diag"]

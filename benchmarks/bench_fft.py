@@ -1,0 +1,82 @@
+"""Benchmarks regenerating the FFT / hybrid-core experiments (Chap. 6.2 / App. B)."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table_6_2(benchmark, report):
+    """Cache-contained DP FFT: the LAC designs lead CPUs/GPUs by a wide margin."""
+    rows = benchmark(lambda: run_experiment("table_6_2"))
+    report("table_6_2", rows)
+    by_design = {r["design"]: r["gflops_per_w"] for r in rows}
+    assert by_design["LAC-fft"] > 10.0 * by_design["General-purpose CPU (45nm)"]
+    assert by_design["LAC-hybrid"] > 3.0 * by_design["GPU SM (45nm)"]
+    assert by_design["LAC-fft"] >= by_design["LAC-hybrid"] * 0.9
+
+
+def test_fig_6_9(benchmark, report):
+    """Hybrid design: both workloads supported with modest efficiency loss."""
+    rows = benchmark(lambda: run_experiment("fig_6_9"))
+    report("fig_6_9", rows)
+    by_variant = {r["variant"]: r for r in rows}
+    # The dedicated designs only support their own workload.
+    assert by_variant["lac"]["fft_gflops_per_w"] == 0.0
+    assert by_variant["fft"]["gemm_gflops_per_w"] == 0.0
+    # The hybrid supports both within ~20% of the dedicated LAC's GEMM efficiency.
+    assert by_variant["hybrid"]["gemm_eff_vs_lac"] > 0.8
+    assert by_variant["hybrid"]["fft_gflops_per_w"] > 0.0
+
+
+def test_table_b_1(benchmark, report):
+    """FFT core requirements: overlap trades local store for bandwidth headroom."""
+    rows = benchmark(lambda: run_experiment("table_b_1"))
+    report("table_b_1", rows[:8])
+    assert {r["variant"] for r in rows} == {"1d", "2d"}
+    overlapped = [r for r in rows if r["overlap"]]
+    serial = [r for r in rows if not r["overlap"]]
+    assert len(overlapped) == len(serial)
+    for o, s in zip(sorted(overlapped, key=lambda r: (r["points"], r["variant"])),
+                    sorted(serial, key=lambda r: (r["points"], r["variant"]))):
+        assert o["local_store_words_per_pe"] > s["local_store_words_per_pe"]
+        assert o["compute_cycles"] <= s["compute_cycles"]
+
+
+def test_fig_b_5_to_b_7(benchmark, report):
+    """Bandwidth for full overlap stays under the 4-doubles/cycle column-bus cap."""
+    rows = benchmark(lambda: run_experiment("fig_b_5_b_7"))
+    report("fig_b_5_b_7", rows)
+    capped = [r for r in rows if "required_bw_words_per_cycle" in r]
+    assert capped
+    for r in capped:
+        if r["block_points"] >= 64 and r["overlap"]:
+            assert r["required_bw_words_per_cycle"] <= r["max_external_bw_words_per_cycle"]
+    load_row = next(r for r in rows if "avg_comm_load_words_per_cycle" in r)
+    assert 0.0 < load_row["avg_comm_load_words_per_cycle"] <= 8.0
+
+
+def test_table_b_2(benchmark, report):
+    """PE SRAM options: dual porting costs area, banking buys bandwidth."""
+    rows = benchmark(lambda: run_experiment("table_b_2"))
+    report("table_b_2", rows)
+    by_option = {r["option"]: r for r in rows}
+    assert by_option["16KB dual-ported"]["area_mm2"] > by_option["16KB single-ported"]["area_mm2"]
+    assert by_option["8KB single-ported"]["area_mm2"] < by_option["16KB single-ported"]["area_mm2"]
+    assert by_option["2 x 8KB single-ported"]["peak_bw_bytes_per_cycle"] == \
+        2 * by_option["16KB single-ported"]["peak_bw_bytes_per_cycle"]
+    assert all(r["max_frequency_ghz"] > 1.0 for r in rows)
+
+
+def test_table_b_3(benchmark, report):
+    """PE design variants: the hybrid supports both workloads at bounded extra cost."""
+    rows = benchmark(lambda: run_experiment("table_b_3"))
+    report("table_b_3", rows)
+    by_variant = {r["variant"]: r for r in rows}
+    assert by_variant["hybrid"]["supports_gemm"] and by_variant["hybrid"]["supports_fft"]
+    assert not by_variant["fft"]["supports_gemm"]
+    assert not by_variant["lac"]["supports_fft"]
+    # Hybrid area exceeds the FFT design but stays within ~40% of the LAC design.
+    assert by_variant["hybrid"]["area_mm2"] >= by_variant["fft"]["area_mm2"]
+    assert by_variant["hybrid"]["area_mm2"] <= 1.4 * by_variant["lac"]["area_mm2"]
+    # Peak power of each design is bounded by a small number of watts per PE.
+    assert all(r["max_power_w"] < 0.2 for r in rows)

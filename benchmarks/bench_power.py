@@ -1,0 +1,58 @@
+"""Benchmarks regenerating the power/area exploration experiments (Sec. 4.4)."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig_4_7_4_8(benchmark, report):
+    """PE area/power vs local store size: store dominates area, FPU dominates power."""
+    rows = benchmark(lambda: run_experiment("fig_4_7_4_8"))
+    report("fig_4_7_4_8", rows)
+    # Area grows monotonically with the local store size.
+    areas = [r["pe_area_mm2"] for r in rows]
+    assert all(b >= a for a, b in zip(areas, areas[1:]))
+    big = rows[-1]
+    # At ~18-20 KB the local store occupies the majority (up to ~2/3) of the PE.
+    assert big["store_area_mm2"] > 0.5 * big["pe_area_mm2"]
+    # The overall PE power is dominated by the FPU, not the store.
+    assert all(r["fpu_mw_per_gflop"] > r["store_mw_per_gflop"] for r in rows)
+    # Smaller local stores consume (slightly) less PE power.
+    assert rows[0]["pe_mw_per_gflop"] <= rows[-1]["pe_mw_per_gflop"] * 1.05
+
+
+def test_fig_4_9_4_10(benchmark, report):
+    """With domain-specific SRAM, the cores dominate chip power at every size."""
+    rows = benchmark(lambda: run_experiment("fig_4_9_4_10"))
+    report("fig_4_9_4_10", rows)
+    assert all(r["memory_type"] == "sram" for r in rows)
+    for r in rows:
+        assert r["cores_mw_per_gflop"] > r["memory_mw_per_gflop"]
+        assert r["chip_area_mm2"] == pytest.approx(r["cores_area_mm2"] + r["memory_area_mm2"])
+    # Memory area overtakes core area only for the largest configurations.
+    small = rows[0]
+    assert small["memory_area_mm2"] < small["cores_area_mm2"]
+
+
+def test_fig_4_11_4_12(benchmark, report):
+    """With a NUCA cache, the memory dominates area and (at small sizes) power."""
+    nuca = benchmark(lambda: run_experiment("fig_4_11_4_12"))
+    report("fig_4_11_4_12", nuca)
+    sram = run_experiment("fig_4_9_4_10")
+    by_size_sram = {r["onchip_memory_mbytes"]: r for r in sram}
+    for r in nuca:
+        partner = by_size_sram[r["onchip_memory_mbytes"]]
+        # NUCA costs strictly more area and power than the plain SRAM design
+        # at every capacity (tags, associative lookup, bandwidth pressure),
+        # and the penalty is steepest where fast banks are forced (small sizes).
+        assert r["memory_area_mm2"] > partner["memory_area_mm2"]
+        assert r["memory_mw_per_gflop"] > 1.2 * partner["memory_mw_per_gflop"]
+        if r["onchip_memory_mbytes"] <= 1.0:
+            assert r["memory_mw_per_gflop"] > 1.5 * partner["memory_mw_per_gflop"]
+        assert r["chip_area_mm2"] > partner["chip_area_mm2"]
+    # Beyond a few MB the NUCA memory occupies more area than the compute cores.
+    large_caps = [r for r in nuca if r["onchip_memory_mbytes"] >= 8.0]
+    assert large_caps and all(r["memory_area_mm2"] > r["cores_area_mm2"] for r in large_caps)
+    # In the SRAM organisation the cores dominate the chip area up to ~8 MB.
+    sram_small = [r for r in sram if r["onchip_memory_mbytes"] <= 4.0]
+    assert sram_small and all(r["memory_area_mm2"] < r["cores_area_mm2"] for r in sram_small)

@@ -1,0 +1,34 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the evaluation, asserts its
+headline qualitative claim, and (when ``--print-experiments`` is given or the
+environment variable ``REPRO_PRINT_EXPERIMENTS`` is set) prints the rendered
+table so that EXPERIMENTS.md can be refreshed from the bench output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.report import summarize_experiment
+
+
+def pytest_addoption(parser):
+    parser.addoption("--print-experiments", action="store_true", default=False,
+                     help="print every regenerated table/figure to stdout")
+
+
+@pytest.fixture
+def report(request):
+    """Callable fixture: report(exp_id, data) prints the rendered experiment."""
+    enabled = (request.config.getoption("--print-experiments")
+               or bool(os.environ.get("REPRO_PRINT_EXPERIMENTS")))
+
+    def _report(exp_id: str, data) -> None:
+        if enabled:
+            print()
+            print(summarize_experiment(exp_id, data))
+
+    return _report

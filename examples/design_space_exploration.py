@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Design-space exploration: size a LAP for a target GEMM workload.
+
+This is the workflow of Chapters 3 and 4: pick the core dimension and local
+store, then size the number of cores, the on-chip memory and the off-chip
+bandwidth of the chip, and finally compare the resulting design against
+published CPUs and GPUs.
+
+Run with:  python examples/design_space_exploration.py [--target-gflops 600]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.arch.database import chip_level_specs
+from repro.arch.lap_design import build_lap, build_pe, find_sweet_spot_frequency
+from repro.experiments.report import render_table
+from repro.hw.fpu import Precision
+from repro.models.chip_model import ChipGEMMModel
+from repro.models.core_model import CoreGEMMModel
+
+
+def explore_core(frequency: float) -> dict:
+    """Pick the smallest local store that sustains peak at 4 bytes/cycle."""
+    model = CoreGEMMModel(nr=4)
+    bw_elements = 4.0 / 8.0
+    kc = model.smallest_kc_for_peak(bw_elements, n=512)
+    store_kb = model.local_store_bytes_per_pe(kc, kc, full_overlap=True) / 1024.0
+    pe = build_pe(Precision.DOUBLE, frequency, local_store_kbytes=store_kb)
+    return {"kc": kc, "local_store_kbytes": round(store_kb, 1),
+            "pe_area_mm2": round(pe.area_mm2, 3),
+            "pe_power_mw": round(1e3 * pe.total_power_w, 1)}
+
+
+def explore_chip(target_gflops: float, frequency: float) -> list:
+    """Sweep core counts and off-chip bandwidths to hit the target throughput."""
+    rows = []
+    for num_cores in (4, 8, 12, 16, 24, 32):
+        chip = ChipGEMMModel(num_cores=num_cores, nr=4)
+        for offchip_bytes_per_cycle in (8, 16, 24, 32):
+            res = chip.cycles_offchip(n=2048, offchip_bandwidth_words_per_cycle=
+                                      offchip_bytes_per_cycle / 8.0)
+            achieved = res.gflops(frequency)
+            rows.append({
+                "cores": num_cores,
+                "offchip_B_per_cycle": offchip_bytes_per_cycle,
+                "onchip_MB": round(res.onchip_memory_mbytes(), 1),
+                "utilization_pct": round(100 * res.utilization, 1),
+                "gflops": round(achieved, 1),
+                "meets_target": achieved >= target_gflops,
+            })
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--target-gflops", type=float, default=600.0,
+                        help="target double-precision GEMM throughput")
+    args = parser.parse_args()
+
+    sweet = find_sweet_spot_frequency(Precision.DOUBLE)
+    print(f"1. PE sweet-spot frequency: {sweet:.2f} GHz")
+    core_choice = explore_core(sweet)
+    print(f"2. Core design point: {core_choice}")
+    print()
+
+    print(f"3. Chip-level sweep toward {args.target_gflops:.0f} DP GFLOPS:")
+    rows = explore_chip(args.target_gflops, sweet)
+    feasible = [r for r in rows if r["meets_target"]]
+    print(render_table(rows, max_rows=16))
+    print()
+    if not feasible:
+        print("   no configuration meets the target; increase cores or bandwidth")
+        return
+    best = min(feasible, key=lambda r: (r["cores"], r["offchip_B_per_cycle"]))
+    print(f"   smallest feasible configuration: {best}")
+    print()
+
+    design = build_lap(num_cores=best["cores"], precision=Precision.DOUBLE,
+                       frequency_ghz=sweet,
+                       local_store_kbytes=core_choice["local_store_kbytes"],
+                       onchip_memory_mbytes=best["onchip_MB"])
+    eff = design.efficiency(utilization=best["utilization_pct"] / 100.0)
+    print("4. Resulting LAP design point:")
+    print(f"   area        : {design.area_mm2:8.1f} mm^2")
+    print(f"   power       : {design.power_w():8.1f} W")
+    print(f"   throughput  : {eff.gflops:8.1f} GFLOPS")
+    print(f"   efficiency  : {eff.gflops_per_watt:8.1f} GFLOPS/W, "
+          f"{eff.gflops_per_mm2:.1f} GFLOPS/mm^2")
+    print()
+
+    print("5. Published chips running DGEMM (45 nm scaled), for comparison:")
+    comparison = [{"architecture": s.name, "gflops": s.gflops,
+                   "gflops_per_w": s.gflops_per_watt,
+                   "gflops_per_mm2": s.gflops_per_mm2}
+                  for s in chip_level_specs("double") if not s.is_lap]
+    print(render_table(comparison))
+
+
+if __name__ == "__main__":
+    main()

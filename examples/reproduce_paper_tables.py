@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the evaluation from the registry.
+
+Run with:
+    python examples/reproduce_paper_tables.py              # everything
+    python examples/reproduce_paper_tables.py table_3_1    # one experiment
+    python examples/reproduce_paper_tables.py --list       # list experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import REGISTRY, run_experiment
+from repro.experiments.report import summarize_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids to regenerate (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument("--max-rows", type=int, default=12,
+                        help="maximum rows to print per table")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp in REGISTRY.values():
+            print(f"{exp.exp_id:<18s} [{exp.kind:<10s}] {exp.source:<20s} {exp.description}")
+        return 0
+
+    ids = args.experiments or list(REGISTRY.keys())
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+
+    for exp_id in ids:
+        data = run_experiment(exp_id)
+        print(summarize_experiment(exp_id, data, max_rows=args.max_rows))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

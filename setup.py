@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the 'wheel' package.
+
+The canonical build configuration lives in pyproject.toml; this file only
+enables legacy editable installs (`pip install -e . --no-use-pep517` or
+`python setup.py develop`) on machines where PEP 660 editable wheels cannot
+be built because the `wheel` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

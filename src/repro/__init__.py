@@ -1,0 +1,48 @@
+"""repro: a reproduction of the Linear Algebra Processor (LAP) codesign study.
+
+This package rebuilds, in Python, the system described in "Algorithm/
+Architecture Codesign of Low Power and High Performance Linear Algebra
+Compute Fabrics" (Pedram, 2013):
+
+* hardware component models (:mod:`repro.hw`),
+* a cycle-level functional simulator of the Linear Algebra Core
+  (:mod:`repro.lac`) and the multi-core Linear Algebra Processor
+  (:mod:`repro.lap`),
+* the kernel mappings -- GEMM, level-3 BLAS, matrix factorizations and FFT --
+  onto that core (:mod:`repro.kernels`),
+* the analytical performance / power / efficiency models of the evaluation
+  chapters (:mod:`repro.models`),
+* the comparison-architecture database and design-point builders
+  (:mod:`repro.arch`), and
+* an experiment registry that regenerates every table and figure of the
+  evaluation (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.lac import LinearAlgebraCore
+>>> from repro.kernels import lac_gemm
+>>> core = LinearAlgebraCore()
+>>> c = np.zeros((8, 8)); a = np.ones((8, 8)); b = np.ones((8, 8))
+>>> result = lac_gemm(core, c, a, b)
+>>> bool(np.allclose(result.output, a @ b))
+True
+"""
+
+from repro.lac import LinearAlgebraCore, LACConfig
+from repro.lap import LinearAlgebraProcessor, LAPConfig
+from repro.models import CoreGEMMModel, ChipGEMMModel
+from repro.hw import Precision
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LinearAlgebraCore",
+    "LACConfig",
+    "LinearAlgebraProcessor",
+    "LAPConfig",
+    "CoreGEMMModel",
+    "ChipGEMMModel",
+    "Precision",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Reference architectures and LAP design-point builders.
+
+* :mod:`repro.arch.database` -- published performance/power/area numbers for
+  the comparison architectures (GPUs, CPUs, Cell, ClearSpeed, FPGAs, ...)
+  used in the core-level and chip-level comparison tables.
+* :mod:`repro.arch.lap_design` -- builders producing PE / core / chip design
+  points of the LAC/LAP from the component models.
+* :mod:`repro.arch.breakdowns` -- component power breakdowns of the
+  comparison architectures and the LAP for the normalised breakdown figures.
+* :mod:`repro.arch.hybrid` -- the FFT-optimised and hybrid LAC/FFT PE
+  designs of Chapter 6.2 / Appendix B.
+"""
+
+from repro.arch.database import ArchitectureSpec, core_level_specs, chip_level_specs, design_choice_comparison
+from repro.arch.lap_design import PEDesignPoint, LACDesignPoint, LAPDesignPoint, build_pe, build_lac, build_lap
+from repro.arch.breakdowns import gpu_tesla_breakdown, gpu_fermi_breakdown, cpu_penryn_breakdown, lap_breakdown, efficiency_comparison
+from repro.arch.hybrid import PEDesignVariant, hybrid_design_comparison
+
+__all__ = [
+    "ArchitectureSpec",
+    "core_level_specs",
+    "chip_level_specs",
+    "design_choice_comparison",
+    "PEDesignPoint",
+    "LACDesignPoint",
+    "LAPDesignPoint",
+    "build_pe",
+    "build_lac",
+    "build_lap",
+    "gpu_tesla_breakdown",
+    "gpu_fermi_breakdown",
+    "cpu_penryn_breakdown",
+    "lap_breakdown",
+    "efficiency_comparison",
+    "PEDesignVariant",
+    "hybrid_design_comparison",
+]

@@ -1,0 +1,150 @@
+"""Command-line interface for the reproduction.
+
+Provides three sub-commands:
+
+``experiments``
+    list or regenerate the tables/figures of the evaluation
+    (``python -m repro.cli experiments --list`` / ``... experiments table_5_1``).
+``simulate``
+    run one kernel on the cycle-level LAC simulator with a randomly generated
+    operand set and report cycles, utilisation and the access counters
+    (``python -m repro.cli simulate gemm --size 16``).
+``design``
+    print the area/power/efficiency of a LAC or LAP design point
+    (``python -m repro.cli design --cores 8 --frequency 1.0``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.lap_design import build_lap
+from repro.experiments.registry import REGISTRY, run_experiment
+from repro.experiments.report import render_table, summarize_experiment
+from repro.hw.fpu import Precision
+from repro.kernels import (lac_cholesky, lac_fft, lac_gemm, lac_lu_panel, lac_syrk,
+                           lac_trsm)
+from repro.lac import LACConfig, LinearAlgebraCore
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.list or not args.ids:
+        for exp in REGISTRY.values():
+            print(f"{exp.exp_id:<18s} [{exp.kind:<10s}] {exp.source:<22s} {exp.description}")
+        if args.list:
+            return 0
+        if not args.ids:
+            return 0
+    unknown = [i for i in args.ids if i not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    for exp_id in args.ids:
+        print(summarize_experiment(exp_id, run_experiment(exp_id), max_rows=args.max_rows))
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    core = LinearAlgebraCore(LACConfig(nr=args.nr, frequency_ghz=args.frequency))
+    n = args.size
+    if n % args.nr:
+        print(f"size must be a multiple of nr={args.nr}", file=sys.stderr)
+        return 2
+
+    if args.kernel == "gemm":
+        result = lac_gemm(core, rng.random((n, n)), rng.random((n, n)), rng.random((n, n)))
+    elif args.kernel == "syrk":
+        result = lac_syrk(core, rng.random((n, n)), rng.random((n, n)))
+    elif args.kernel == "trsm":
+        l = np.tril(rng.random((n, n))) + n * np.eye(n)
+        result = lac_trsm(core, l, rng.random((n, n)))
+    elif args.kernel == "cholesky":
+        m = rng.random((n, n))
+        result = lac_cholesky(core, m @ m.T + n * np.eye(n))
+    elif args.kernel == "lu":
+        result = lac_lu_panel(core, rng.random((max(n, args.nr), args.nr)))
+    elif args.kernel == "fft":
+        points = 4 ** max(1, int(round(np.log(max(n, 4) ** 2) / np.log(4))))
+        x = rng.standard_normal(points) + 1j * rng.standard_normal(points)
+        result = lac_fft(core, x)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.kernel)
+
+    print(f"kernel        : {result.name}")
+    print(f"cycles        : {result.cycles}")
+    print(f"MAC ops       : {result.counters.mac_ops}")
+    print(f"utilisation   : {100 * result.utilization:.1f}%")
+    print(f"GFLOPS @ {args.frequency:.2f} GHz: {result.gflops(args.frequency):.1f}")
+    print()
+    print(result.counters.summary())
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    precision = Precision.SINGLE if args.precision == "single" else Precision.DOUBLE
+    design = build_lap(num_cores=args.cores, nr=args.nr, precision=precision,
+                       frequency_ghz=args.frequency,
+                       local_store_kbytes=args.local_store_kbytes,
+                       onchip_memory_mbytes=args.onchip_mbytes)
+    eff = design.efficiency(utilization=args.utilization)
+    rows = [{
+        "cores": args.cores,
+        "nr": args.nr,
+        "precision": precision.value,
+        "frequency_ghz": args.frequency,
+        "area_mm2": round(design.area_mm2, 1),
+        "power_w": round(design.power_w(), 2),
+        "peak_gflops": round(design.peak_gflops, 1),
+        "gflops": round(eff.gflops, 1),
+        "gflops_per_w": round(eff.gflops_per_watt, 1),
+        "gflops_per_mm2": round(eff.gflops_per_mm2, 2),
+    }]
+    print(render_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="list or regenerate evaluation experiments")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (default: list all)")
+    p_exp.add_argument("--list", action="store_true", help="only list the registry")
+    p_exp.add_argument("--max-rows", type=int, default=12)
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_sim = sub.add_parser("simulate", help="run a kernel on the LAC simulator")
+    p_sim.add_argument("kernel", choices=["gemm", "syrk", "trsm", "cholesky", "lu", "fft"])
+    p_sim.add_argument("--size", type=int, default=16, help="problem dimension")
+    p_sim.add_argument("--nr", type=int, default=4, help="core dimension")
+    p_sim.add_argument("--frequency", type=float, default=1.0, help="clock in GHz")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_des = sub.add_parser("design", help="evaluate a LAP design point")
+    p_des.add_argument("--cores", type=int, default=8)
+    p_des.add_argument("--nr", type=int, default=4)
+    p_des.add_argument("--frequency", type=float, default=1.0)
+    p_des.add_argument("--precision", choices=["single", "double"], default="double")
+    p_des.add_argument("--local-store-kbytes", type=float, default=16.0)
+    p_des.add_argument("--onchip-mbytes", type=float, default=4.0)
+    p_des.add_argument("--utilization", type=float, default=0.9)
+    p_des.set_defaults(func=_cmd_design)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

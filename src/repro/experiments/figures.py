@@ -1,0 +1,379 @@
+"""Generators for the figure data series of the evaluation chapters.
+
+Each function returns the data points a figure plots (as lists of dicts or
+dicts of series), without any plotting dependency; the benchmark harness
+prints the series and asserts the qualitative shape, and examples can feed
+them to matplotlib if available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.arch.breakdowns import (cpu_penryn_breakdown, efficiency_comparison,
+                                   gpu_fermi_breakdown, gpu_tesla_breakdown, lap_breakdown)
+from repro.arch.hybrid import hybrid_design_comparison
+from repro.arch.lap_design import build_lap, build_pe, pe_frequency_sweep
+from repro.hw.fpu import Precision
+from repro.hw.memory import NUCACache, OnChipMemory
+from repro.hw.sfu import SFUPlacement, SpecialFunctionUnit
+from repro.models.blas_model import BlasCoreModel, Level3Operation
+from repro.models.chip_model import ChipGEMMModel
+from repro.models.core_model import CoreGEMMModel
+from repro.models.fact_model import (FactorizationKernel, FactorizationKernelModel,
+                                     MACExtension)
+from repro.models.fft_model import FFTCoreModel, FFTProblem, FFTVariant
+
+
+# ----------------------------------------------------------------- Fig. 3.4
+def fig_3_4_core_utilization_vs_local_store(n: int = 512) -> List[Dict]:
+    """Core utilisation vs local store size for several on-chip bandwidths."""
+    rows: List[Dict] = []
+    kc_values = [16, 32, 48, 64, 96, 128, 192, 256, 320, 384, 448, 512]
+    for nr in (4, 8):
+        model = CoreGEMMModel(nr=nr)
+        for bw_bytes in (1, 2, 3, 4, 8):
+            bw_elements = bw_bytes / 8.0 * 8.0 / 8.0 * 8.0  # bytes -> elements of 8B? keep bytes/8
+            bw_elements = bw_bytes / 8.0
+            for kc in kc_values:
+                if kc > n:
+                    continue
+                res = model.cycles(mc=kc, kc=kc, n=n,
+                                   bandwidth_elements_per_cycle=max(bw_elements, 1e-3))
+                rows.append({
+                    "nr": nr,
+                    "bandwidth_bytes_per_cycle": bw_bytes,
+                    "local_store_kbytes_per_pe": res.local_store_bytes_per_pe / 1024.0,
+                    "utilization_pct": 100.0 * res.utilization,
+                })
+    return rows
+
+
+# ----------------------------------------------------------------- Fig. 3.5
+def fig_3_5_peak_bandwidth_vs_local_store(n: int = 512) -> List[Dict]:
+    """Bandwidth needed for peak performance vs resulting local store size."""
+    rows: List[Dict] = []
+    for nr in (4, 8):
+        model = CoreGEMMModel(nr=nr)
+        rows.extend(model.peak_bandwidth_vs_local_store(
+            kc_values=[16, 32, 64, 96, 128, 192, 256, 384, 512], n=n))
+    return rows
+
+
+# ----------------------------------------------------------- Figs. 3.6/3.7
+def fig_3_6_pe_efficiency_vs_frequency(precision: Precision = Precision.DOUBLE) -> List[Dict]:
+    """PE efficiency metrics (mm^2/GFLOP, mW/GFLOP, energy-delay) vs frequency."""
+    rows = []
+    for pe in pe_frequency_sweep(precision, [0.2, 0.33, 0.5, 0.75, 0.95, 1.0, 1.2,
+                                             1.4, 1.6, 1.81, 2.08]):
+        eff = pe.efficiency()
+        rows.append({
+            "frequency_ghz": pe.frequency_ghz,
+            "mm2_per_gflop": eff.mm2_per_gflop,
+            "mw_per_gflop": eff.mw_per_gflop,
+            "energy_delay": eff.energy_delay,
+            "gflops_per_w": eff.gflops_per_watt,
+            "gflops_per_mm2": eff.gflops_per_mm2,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------- Fig. 4.2
+def fig_4_2_onchip_bw_vs_memory() -> List[Dict]:
+    """On-chip bandwidth vs memory size for (S=8, nr=4) and (S=2, nr=8)."""
+    rows: List[Dict] = []
+    kc_values = [32, 64, 96, 128, 192, 256, 384, 512]
+    for num_cores, nr in ((8, 4), (2, 8)):
+        model = ChipGEMMModel(num_cores=num_cores, nr=nr)
+        rows.extend(model.sweep_onchip_memory_vs_bandwidth(
+            n_values=[512, 1024, 2048], kc_values=kc_values))
+    return rows
+
+
+# ----------------------------------------------------------------- Fig. 4.3
+def fig_4_3_performance_vs_cores_and_bw(n: int = 1024) -> List[Dict]:
+    """Relative LAP performance vs number of cores, on-chip BW and memory.
+
+    The (num_cores, bandwidth) pairs follow the figure's four sets of curves
+    with constant S/BW ratios: {S=4 BW=1, S=8 BW=2, ...} up to
+    {S=4 BW=8, ..., S=16 BW=32}; bandwidths are total on-chip words/cycle.
+    """
+    rows: List[Dict] = []
+    single_core = ChipGEMMModel(num_cores=1, nr=4)
+    kc_values = [32, 64, 128, 256]
+    base = None
+    for kc in kc_values:
+        res = single_core.cycles_onchip(kc, kc, n,
+                                        single_core.onchip_bandwidth_words_per_cycle(kc, kc, n))
+        if base is None or res.total_cycles < base:
+            base = res.total_cycles
+    for num_cores, bw_total in ((4, 1), (8, 2), (12, 3), (16, 4),
+                                (4, 2), (8, 4), (12, 6), (16, 8),
+                                (4, 4), (8, 8), (12, 12), (16, 16),
+                                (4, 8), (8, 16), (12, 24), (16, 32)):
+        model = ChipGEMMModel(num_cores=num_cores, nr=4)
+        for kc in kc_values:
+            if num_cores * kc > n:
+                continue
+            mem_words = model.onchip_memory_words(kc, kc, n)
+            res = model.cycles_onchip(kc, kc, n, float(bw_total))
+            rows.append({
+                "num_cores": num_cores,
+                "bw_words_per_cycle": bw_total,
+                "onchip_memory_mbytes": mem_words * 8 / 2 ** 20,
+                "relative_performance_pct": 100.0 * base / res.total_cycles if base else 0.0,
+                "utilization_pct": 100.0 * res.utilization,
+            })
+    return rows
+
+
+# ----------------------------------------------------------------- Fig. 4.5
+def fig_4_5_offchip_bw_vs_onchip_memory() -> List[Dict]:
+    """External bandwidth vs on-chip memory size for several problem sizes."""
+    rows: List[Dict] = []
+    model = ChipGEMMModel(num_cores=8, nr=4)
+    for n in (512, 1024, 2048):
+        for divisor in (1, 2, 4, 8):
+            ns = n // divisor
+            if ns < 64:
+                continue
+            k = 1
+            bw_words = model.offchip_bandwidth_blocked(n, ns, k)
+            onchip_words = model.onchip_words_for_subblock(ns, mc=min(256, ns), kc=min(256, ns))
+            rows.append({
+                "n": n,
+                "ns": ns,
+                "onchip_memory_mbytes": onchip_words * 8 / 2 ** 20,
+                "offchip_bandwidth_bytes_per_cycle": bw_words * 8,
+            })
+    return rows
+
+
+# ----------------------------------------------------------------- Fig. 4.6
+def fig_4_6_performance_vs_offchip_bw(frequency_ghz: float = 1.4) -> List[Dict]:
+    """LAP GFLOPS vs off-chip bandwidth and on-chip memory size."""
+    rows: List[Dict] = []
+    for num_cores in (4, 8, 16):
+        model = ChipGEMMModel(num_cores=num_cores, nr=4)
+        for n in (256, 512, 768, 1024):
+            for bw_bytes in (4, 8, 16, 24):
+                res = model.cycles_offchip(n, bw_bytes / 8.0)
+                rows.append({
+                    "num_cores": num_cores,
+                    "n": n,
+                    "onchip_memory_mbytes": (n * n) * 8 / 2 ** 20,
+                    "offchip_bw_bytes_per_cycle": bw_bytes,
+                    "gflops": res.gflops(frequency_ghz),
+                    "utilization_pct": 100.0 * res.utilization,
+                })
+    return rows
+
+
+# ----------------------------------------------------------- Figs. 4.7/4.8
+def fig_4_7_4_8_pe_area_power_vs_local_store() -> List[Dict]:
+    """PE area and power efficiency vs local store size at 45 nm."""
+    rows = []
+    for kbytes in (2, 4, 6, 8, 10, 12, 14, 16, 18, 20):
+        pe = build_pe(precision=Precision.DOUBLE, frequency_ghz=1.0,
+                      local_store_kbytes=float(kbytes))
+        eff = pe.efficiency()
+        rows.append({
+            "local_store_kbytes": kbytes,
+            "pe_area_mm2": pe.area_mm2,
+            "store_area_mm2": pe.store_a.area_mm2 + pe.store_b.area_mm2,
+            "fpu_area_mm2": pe.fmac.area_mm2,
+            "pe_mw_per_gflop": eff.mw_per_gflop,
+            "store_mw_per_gflop": 1e3 * pe.memory_power_w / pe.peak_gflops,
+            "fpu_mw_per_gflop": 1e3 * pe.fmac_power_w / pe.peak_gflops,
+            "leakage_mw_per_gflop": 1e3 * 0.25 * (pe.fmac_power_w + pe.memory_power_w)
+            / pe.peak_gflops,
+        })
+    return rows
+
+
+# -------------------------------------------------------- Figs. 4.9 - 4.12
+def fig_4_9_to_4_12_system_area_power_vs_onchip_memory(use_nuca: bool = False) -> List[Dict]:
+    """Area and power of a 128-MAC system vs on-chip memory size (SRAM or NUCA)."""
+    rows: List[Dict] = []
+    num_cores, nr, n = 8, 4, 2048
+    chip_model = ChipGEMMModel(num_cores=num_cores, nr=nr)
+    for mbytes in (0.5, 1.0, 2.0, 4.0, 8.0, 16.0):
+        design = build_lap(num_cores=num_cores, nr=nr, precision=Precision.DOUBLE,
+                           frequency_ghz=1.0, onchip_memory_mbytes=mbytes)
+        # Bandwidth the memory must sustain to keep utilisation high shrinks
+        # as the memory grows (Fig. 4.5): a smaller memory forces a smaller
+        # resident block of C and smaller streamed panels, so the cores pull
+        # proportionally more words per cycle out of the on-chip banks.
+        ns = min(n, int((mbytes * 2 ** 20 / 8) ** 0.5))
+        ns = max(64, (ns // nr) * nr)
+        kc_eff = max(16, min(256, (ns // 8 // nr) * nr))
+        required_bw_words = chip_model.onchip_bandwidth_words_per_cycle(kc_eff, kc_eff, ns)
+        cores_area = num_cores * design.core.area_mm2
+        cores_power = num_cores * design.core.power_w
+        if use_nuca:
+            memory = NUCACache(capacity_bytes=int(mbytes * 2 ** 20), banks=num_cores,
+                               frequency_ghz=1.0,
+                               required_bandwidth_bytes_per_cycle=required_bw_words * 8)
+            mem_area = memory.area_mm2
+            mem_power = memory.dynamic_power_w(min(required_bw_words, num_cores)) \
+                + memory.leakage_power_w
+        else:
+            memory = design.onchip_memory
+            mem_area = memory.area_mm2
+            mem_power = memory.dynamic_power_w(min(required_bw_words, memory.banks)) \
+                + memory.leakage_power_w
+        peak_gflops = design.peak_gflops
+        rows.append({
+            "memory_type": "nuca" if use_nuca else "sram",
+            "onchip_memory_mbytes": mbytes,
+            "cores_area_mm2": cores_area,
+            "memory_area_mm2": mem_area,
+            "chip_area_mm2": cores_area + mem_area,
+            "cores_mw_per_gflop": 1e3 * cores_power / peak_gflops,
+            "memory_mw_per_gflop": 1e3 * mem_power / peak_gflops,
+            "chip_mw_per_gflop": 1e3 * (cores_power + mem_power) / peak_gflops,
+        })
+    return rows
+
+
+# --------------------------------------------------------- Figs. 4.13-4.15
+def fig_4_13_to_4_15_power_breakdowns() -> Dict[str, Dict[str, float]]:
+    """Normalised (W/GFLOPS) power breakdowns of GPUs/CPU vs equal-throughput LAPs."""
+    comparisons = {
+        "GTX280_SGEMM": gpu_tesla_breakdown(),
+        "LAP_vs_GTX280": lap_breakdown(410.0, Precision.SINGLE),
+        "GTX480_SGEMM": gpu_fermi_breakdown(Precision.SINGLE),
+        "LAP_vs_GTX480_SP": lap_breakdown(940.0, Precision.SINGLE),
+        "GTX480_DGEMM": gpu_fermi_breakdown(Precision.DOUBLE),
+        "LAP_vs_GTX480_DP": lap_breakdown(470.0, Precision.DOUBLE),
+        "Penryn_DGEMM": cpu_penryn_breakdown(),
+        "LAP_vs_Penryn": lap_breakdown(20.0, Precision.DOUBLE, frequency_ghz=1.4),
+    }
+    return {name: bd.normalized_by_performance() for name, bd in comparisons.items()}
+
+
+# ---------------------------------------------------------------- Fig. 4.16
+def fig_4_16_efficiency_comparison() -> List[Dict]:
+    """GFLOPS/W of GPUs/CPU vs equal-throughput LAPs (core and chip level)."""
+    return efficiency_comparison()
+
+
+# ----------------------------------------------------------- Figs. 5.8/5.9
+def fig_5_8_5_9_syrk_trsm_utilization(mc: int = 256) -> List[Dict]:
+    """SYRK and TRSM utilisation vs local store and bandwidth."""
+    rows: List[Dict] = []
+    kc_values = [16, 32, 64, 96, 128, 192, 256, 320, 384, 448, 512]
+    for nr in (4, 8):
+        model = BlasCoreModel(nr=nr)
+        for op in (Level3Operation.SYRK, Level3Operation.TRSM):
+            for bw_bytes in (1, 2, 3, 4, 8):
+                for kc in kc_values:
+                    res = model.utilization(op, mc=kc, kc=kc, n=512,
+                                            bandwidth_elements_per_cycle=bw_bytes / 8.0)
+                    rows.append({
+                        "operation": op.value,
+                        "nr": nr,
+                        "bandwidth_bytes_per_cycle": bw_bytes,
+                        "local_store_kbytes_per_pe": res.local_store_kbytes_per_pe,
+                        "utilization_pct": 100.0 * res.utilization,
+                    })
+    return rows
+
+
+# ---------------------------------------------------------------- Fig. 5.10
+def fig_5_10_blas_utilization_comparison() -> List[Dict]:
+    """Utilisation of GEMM/TRSM/SYRK/SYR2K at matched design points."""
+    rows: List[Dict] = []
+    kc_values = [16, 32, 64, 96, 128, 192, 256, 320, 384, 448, 512]
+    for nr, bw_bytes in ((4, 4), (8, 8)):
+        model = BlasCoreModel(nr=nr)
+        for kc in kc_values:
+            for res in model.compare_operations(mc=kc, kc=kc, n=512,
+                                                bandwidth_elements_per_cycle=bw_bytes / 8.0):
+                rows.append({
+                    "operation": res.operation.value,
+                    "nr": nr,
+                    "bandwidth_bytes_per_cycle": bw_bytes,
+                    "local_store_kbytes_per_pe": res.local_store_kbytes_per_pe,
+                    "utilization_pct": 100.0 * res.utilization,
+                })
+    return rows
+
+
+# ----------------------------------------------------------------- Fig. 6.5
+def fig_6_5_lac_area_breakdown() -> List[Dict]:
+    """LAC area breakdown for the three divide/square-root options."""
+    rows = []
+    for placement in SFUPlacement:
+        pe = build_pe(precision=Precision.DOUBLE, frequency_ghz=1.0, local_store_kbytes=16.0)
+        sfu = SpecialFunctionUnit(placement=placement, precision=Precision.DOUBLE, nr=4)
+        pes_area = 16 * pe.area_mm2
+        rows.append({
+            "option": placement.value,
+            "pes_area_mm2": pes_area,
+            "sfu_area_mm2": sfu.area_mm2,
+            "total_area_mm2": pes_area + sfu.area_mm2,
+            "overhead_pct": 100.0 * sfu.area_mm2 / pes_area,
+        })
+    return rows
+
+
+# ------------------------------------------------- Figs. 6.6/6.7, A.3-A.8
+def fig_6_6_6_7_factorization_efficiency(sizes: Sequence[int] = (64, 128, 256)) -> List[Dict]:
+    """Power efficiency of the vector-norm and LU inner kernels vs options."""
+    model = FactorizationKernelModel(nr=4)
+    core_area = 16 * build_pe(Precision.DOUBLE, 1.0, 16.0).area_mm2
+    rows: List[Dict] = []
+    cases = [
+        (FactorizationKernel.VECTOR_NORM,
+         [MACExtension.NONE, MACExtension.COMPARATOR, MACExtension.EXPONENT]),
+        (FactorizationKernel.LU, [MACExtension.NONE, MACExtension.COMPARATOR]),
+    ]
+    for kernel, extensions in cases:
+        for k in sizes:
+            for placement in SFUPlacement:
+                for ext in extensions:
+                    res = model.evaluate(kernel, k, placement, ext)
+                    eff = model.efficiency(res, core_area)
+                    rows.append({
+                        "kernel": kernel.value,
+                        "k": k,
+                        "sfu": placement.value,
+                        "mac_extension": ext.value,
+                        "gflops_per_w": eff.gflops_per_watt,
+                        "gflops_per_mm2": eff.gflops_per_mm2,
+                        "inverse_energy_delay": eff.inverse_energy_delay,
+                        "cycles": res.cycles,
+                    })
+    return rows
+
+
+# ----------------------------------------------------------------- Fig. 6.9
+def fig_6_9_hybrid_efficiency_normalized() -> List[Dict]:
+    """Efficiency of the FFT / hybrid designs normalised to the original LAC."""
+    return hybrid_design_comparison()
+
+
+# ------------------------------------------------------------ Figs. B.5-B.7
+def fig_b_5_to_b_7_fft_requirements() -> List[Dict]:
+    """FFT bandwidth / local store / average communication load."""
+    model = FFTCoreModel(nr=4)
+    rows: List[Dict] = []
+    for block in (16, 64, 256, 1024):
+        for overlap in (False, True):
+            rows.append({
+                "block_points": block,
+                "overlap": overlap,
+                "required_bw_words_per_cycle": model.required_bandwidth_words_per_cycle(
+                    block, overlap),
+                "local_store_words_per_pe": model.local_store_words_per_pe(block, overlap),
+                "max_external_bw_words_per_cycle": model.max_external_bandwidth_words_per_cycle(),
+            })
+    big = FFTProblem(points=65536, variant=FFTVariant.ONE_D)
+    rows.append({
+        "block_points": 64,
+        "overlap": True,
+        "avg_comm_load_words_per_cycle": model.average_communication_load(big, 64),
+        "problem": "64K 1D FFT",
+    })
+    return rows

@@ -1,0 +1,95 @@
+"""Shared result container and helpers for the LAC kernel mappings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.lac.stats import AccessCounters
+
+
+@dataclass
+class KernelResult:
+    """Outcome of running one kernel on the LAC simulator.
+
+    Attributes
+    ----------
+    name:
+        Kernel name (e.g. ``"gemm"``, ``"trsm"``).
+    output:
+        The numerical result produced by the simulator (matrix, vector or
+        scalar depending on the kernel).
+    counters:
+        A snapshot of the access counters attributable to this kernel run.
+    num_pes:
+        Number of PEs in the core that ran the kernel (for utilisation).
+    extra:
+        Optional kernel-specific payload (e.g. the permutation of an LU
+        factorization, the tau scalars of a QR panel).
+    """
+
+    name: str
+    output: object
+    counters: AccessCounters
+    num_pes: int
+    extra: Optional[dict] = None
+
+    @property
+    def cycles(self) -> int:
+        """Cycles charged to this kernel run."""
+        return self.counters.cycles
+
+    @property
+    def flops(self) -> int:
+        """Useful floating point operations issued (2 per MAC)."""
+        return self.counters.flops
+
+    @property
+    def utilization(self) -> float:
+        """MAC issue rate relative to the core's peak."""
+        return self.counters.utilization(self.num_pes)
+
+    def gflops(self, frequency_ghz: float) -> float:
+        """Achieved GFLOPS at the given core frequency."""
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        seconds = self.cycles / (frequency_ghz * 1e9)
+        return self.flops / seconds / 1e9 if seconds > 0 else 0.0
+
+
+def counters_delta(end: AccessCounters, start: AccessCounters) -> AccessCounters:
+    """Difference of two counter snapshots (events attributable to one kernel)."""
+    delta = end.copy()
+    for name, value in start.as_dict().items():
+        setattr(delta, name, getattr(delta, name) - value)
+    return delta
+
+
+def pad_to_multiple(matrix: np.ndarray, multiple: int) -> np.ndarray:
+    """Zero-pad a matrix so both dimensions are multiples of ``multiple``.
+
+    The LAC kernels operate on blocks whose dimensions are multiples of the
+    core size ``nr``; callers padding their inputs use this helper and slice
+    the result back afterwards.
+    """
+    if multiple < 1:
+        raise ValueError("multiple must be >= 1")
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    rows = ((matrix.shape[0] + multiple - 1) // multiple) * multiple
+    cols = ((matrix.shape[1] + multiple - 1) // multiple) * multiple
+    if (rows, cols) == matrix.shape:
+        return matrix.copy()
+    out = np.zeros((rows, cols), dtype=float)
+    out[: matrix.shape[0], : matrix.shape[1]] = matrix
+    return out
+
+
+def check_divisible(value: int, by: int, what: str) -> None:
+    """Raise a helpful error when a dimension is not a multiple of ``by``."""
+    if value % by != 0:
+        raise ValueError(f"{what} ({value}) must be a multiple of the core size nr={by}; "
+                         f"pad the operand with repro.kernels.common.pad_to_multiple")

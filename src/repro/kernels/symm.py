@@ -1,0 +1,68 @@
+"""SYMM on the LAC: symmetric matrix-matrix multiply ``C := C + sym(A) B``.
+
+Only the lower triangle of the symmetric ``A`` is stored (Section 5.1).  The
+LAC reconstructs the upper-triangular contributions on the fly by transposing
+the stored blocks over the diagonal PEs -- the same collective the SYRK kernel
+uses -- and otherwise runs the standard GEMM block-panel schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.common import KernelResult, check_divisible, counters_delta
+from repro.kernels.gemm import lac_rank1_sequence
+from repro.lac.core import LinearAlgebraCore
+
+
+def lac_symm(core: LinearAlgebraCore, c: np.ndarray, a_lower: np.ndarray,
+             b: np.ndarray) -> KernelResult:
+    """Blocked SYMM ``C := C + sym(A) B`` on a single LAC.
+
+    ``A`` is ``m x m`` with only its lower triangle meaningful, ``B`` is
+    ``m x n`` and ``C`` is ``m x n``; all dimensions must be multiples of the
+    core size ``nr``.
+    """
+    start = core.counters.copy()
+    c = np.array(c, dtype=float, copy=True)
+    a_lower = np.asarray(a_lower, dtype=float)
+    b = np.asarray(b, dtype=float)
+    nr = core.nr
+    m = a_lower.shape[0]
+    if a_lower.shape != (m, m):
+        raise ValueError("A must be square for SYMM")
+    if b.shape[0] != m or c.shape != (m, b.shape[1]):
+        raise ValueError("operand shapes are inconsistent for SYMM")
+    check_divisible(m, nr, "m")
+    n = b.shape[1]
+    check_divisible(n, nr, "n")
+
+    stored = np.tril(a_lower)
+    core.distribute_a(stored)
+    for i in range(0, m, nr):
+        # Panel of sym(A) for block row i up to and including the diagonal
+        # block: stored lower blocks to the left, and the diagonal block
+        # symmetrised on the fly (its strictly-upper entries are the mirror of
+        # the stored strictly-lower ones, recovered over the diagonal PEs).
+        diag = stored[i:i + nr, i:i + nr]
+        diag_sym = np.tril(diag) + np.tril(diag, -1).T
+        for col in range(1, nr):
+            core.transpose_via_diagonal(diag[:, col - 1])
+        left_panel = np.concatenate([stored[i:i + nr, :i], diag_sym], axis=1)
+        for jj in range(0, n, nr):
+            block = c[i:i + nr, jj:jj + nr]
+            # Contributions from stored (lower) blocks: sym(A)[i, 0..i] B[0..i].
+            block = lac_rank1_sequence(core, block, left_panel,
+                                       b[: i + nr, jj:jj + nr])
+            # Contributions from the implicit upper part: A[j, i]^T for j > i.
+            for j in range(i + nr, m, nr):
+                mirrored = stored[j:j + nr, i:i + nr]
+                # The block is transposed through the diagonal PEs before use;
+                # charge the nr transpose steps and run the rank-1 sequence.
+                for col in range(nr):
+                    core.transpose_via_diagonal(mirrored[:, col])
+                block = lac_rank1_sequence(core, block, mirrored.T, b[j:j + nr, jj:jj + nr])
+            c[i:i + nr, jj:jj + nr] = block
+
+    delta = counters_delta(core.counters, start)
+    return KernelResult(name="symm", output=c, counters=delta, num_pes=core.num_pes)

@@ -1,0 +1,55 @@
+"""TRMM on the LAC: triangular matrix-matrix multiply ``B := L B``.
+
+TRMM (Section 5.1) reuses the GEMM block-panel machinery; the only difference
+is that the panel of ``L`` contributing to block row ``i`` grows with ``i``
+(only the blocks at or below the diagonal are non-zero), so the length of the
+rank-1 update sequences increases from one block row to the next.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.common import KernelResult, check_divisible, counters_delta
+from repro.kernels.gemm import lac_rank1_sequence
+from repro.lac.core import LinearAlgebraCore
+
+
+def lac_trmm(core: LinearAlgebraCore, l: np.ndarray, b: np.ndarray) -> KernelResult:
+    """Blocked TRMM ``B := L B`` with lower-triangular ``L`` on a single LAC.
+
+    ``L`` is ``k x k`` and ``B`` is ``k x m``; both ``k`` and ``m`` must be
+    multiples of the core size.  Block rows are processed bottom-up so that
+    rows of ``B`` are overwritten only after every product that still needs
+    their original values has consumed them.
+    """
+    start = core.counters.copy()
+    l = np.asarray(l, dtype=float)
+    b = np.array(b, dtype=float, copy=True)
+    nr = core.nr
+    k = l.shape[0]
+    if l.shape != (k, k):
+        raise ValueError("L must be square")
+    if b.shape[0] != k:
+        raise ValueError(f"B must have {k} rows, got {b.shape[0]}")
+    check_divisible(k, nr, "k")
+    m = b.shape[1]
+    check_divisible(m, nr, "m (columns of B)")
+
+    lt = np.tril(l)
+    core.distribute_a(lt)
+    original = b.copy()
+    # Bottom-up over block rows: row panel i of the result needs rows 0..i of
+    # the original B, which are still intact because rows above i have not yet
+    # been overwritten when processing bottom-up... they have; hence we keep
+    # the original panel explicitly, matching the double-buffered panels the
+    # LAC streams from on-chip memory.
+    for i in range(k - nr, -nr, -nr):
+        panel_l = lt[i:i + nr, : i + nr]          # nr x (i + nr), the non-zero part
+        for jj in range(0, m, nr):
+            zero = np.zeros((nr, nr), dtype=float)
+            b[i:i + nr, jj:jj + nr] = lac_rank1_sequence(
+                core, zero, panel_l, original[: i + nr, jj:jj + nr])
+
+    delta = counters_delta(core.counters, start)
+    return KernelResult(name="trmm", output=b, counters=delta, num_pes=core.num_pes)

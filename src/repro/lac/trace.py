@@ -1,0 +1,132 @@
+"""Execution tracing for the LAC simulator.
+
+The base simulator only accumulates counters; for debugging kernel schedules
+and for producing the per-phase cycle breakdowns used in some ablation
+studies it is useful to record *when* things happened.  ``ExecutionTrace``
+records timestamped events (phase begin/end markers and per-phase counter
+snapshots) and can summarise how cycles split across phases such as
+"distribute A", "rank-1 steady state", "store C", or the steps S1..S4 of a
+factorization iteration.
+
+Tracing is optional and attaches to an existing core without modifying it:
+
+>>> core = LinearAlgebraCore()
+>>> trace = ExecutionTrace(core)
+>>> with trace.phase("distribute A"):
+...     core.distribute_a(a_block)
+>>> trace.summary_rows()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.lac.core import LinearAlgebraCore
+from repro.lac.stats import AccessCounters
+
+
+@dataclass
+class TraceEvent:
+    """One completed phase of execution."""
+
+    name: str
+    start_cycle: int
+    end_cycle: int
+    counters: AccessCounters
+    nesting: int = 0
+
+    @property
+    def cycles(self) -> int:
+        """Cycles spent inside the phase."""
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def mac_ops(self) -> int:
+        """MAC operations issued inside the phase."""
+        return self.counters.mac_ops
+
+
+class ExecutionTrace:
+    """Records phase-level events against a live :class:`LinearAlgebraCore`."""
+
+    def __init__(self, core: LinearAlgebraCore):
+        self.core = core
+        self.events: List[TraceEvent] = []
+        self._depth = 0
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager bracketing one named phase of execution."""
+        if not name:
+            raise ValueError("phase name must be non-empty")
+        start_counters = self.core.counters.copy()
+        start_cycle = self.core.counters.cycles
+        nesting = self._depth
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            end_counters = self.core.counters.copy()
+            delta = end_counters
+            for key, value in start_counters.as_dict().items():
+                setattr(delta, key, getattr(delta, key) - value)
+            self.events.append(TraceEvent(
+                name=name,
+                start_cycle=start_cycle,
+                end_cycle=self.core.counters.cycles,
+                counters=delta,
+                nesting=nesting,
+            ))
+
+    # -------------------------------------------------------------- queries
+    @property
+    def total_cycles(self) -> int:
+        """Cycles covered by top-level phases."""
+        return sum(e.cycles for e in self.events if e.nesting == 0)
+
+    def phases(self, name: Optional[str] = None) -> List[TraceEvent]:
+        """All recorded events, optionally filtered by phase name."""
+        return [e for e in self.events if name is None or e.name == name]
+
+    def cycles_by_phase(self) -> Dict[str, int]:
+        """Total cycles per distinct phase name (top-level phases only)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            if event.nesting == 0:
+                out[event.name] = out.get(event.name, 0) + event.cycles
+        return out
+
+    def utilization_by_phase(self) -> Dict[str, float]:
+        """MAC issue rate per phase (relative to the core's peak)."""
+        out: Dict[str, float] = {}
+        pes = self.core.num_pes
+        for name in {e.name for e in self.events if e.nesting == 0}:
+            events = [e for e in self.events if e.name == name and e.nesting == 0]
+            cycles = sum(e.cycles for e in events)
+            macs = sum(e.mac_ops for e in events)
+            out[name] = min(1.0, macs / float(cycles * pes)) if cycles > 0 else 0.0
+        return out
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Table rows (phase, cycles, share, MACs, utilisation) for reports."""
+        total = max(self.total_cycles, 1)
+        rows = []
+        for name, cycles in sorted(self.cycles_by_phase().items(), key=lambda kv: -kv[1]):
+            macs = sum(e.mac_ops for e in self.events if e.name == name and e.nesting == 0)
+            rows.append({
+                "phase": name,
+                "cycles": cycles,
+                "share_pct": 100.0 * cycles / total,
+                "mac_ops": macs,
+                "utilization_pct": 100.0 * min(1.0, macs / float(cycles * self.core.num_pes))
+                if cycles else 0.0,
+            })
+        return rows
+
+    def reset(self) -> None:
+        """Discard all recorded events (the core's counters are untouched)."""
+        self.events.clear()
+        self._depth = 0

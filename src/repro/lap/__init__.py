@@ -1,0 +1,31 @@
+"""Chip-level Linear Algebra Processor (LAP): multiple LACs plus memory.
+
+The LAP surrounds ``S`` Linear Algebra Cores with a shared on-chip memory
+(banked SRAM, one bank coupled to each core plus shared banks) and an
+off-chip memory interface.  This subpackage provides:
+
+* :mod:`repro.lap.chip` -- the chip object tying cores, on-chip memory and
+  the off-chip interface together, with chip-wide cycle/energy accounting;
+* :mod:`repro.lap.scheduler` -- the panel-blocking scheduler that distributes
+  a large GEMM across the cores exactly as Figure 4.1 describes (each core
+  owns a row panel of C; panels of B are broadcast to all cores);
+* :mod:`repro.lap.offchip` -- traffic accounting for the external memory,
+  including the extra blocking layer used when C does not fit on chip.
+"""
+
+from repro.lap.chip import LinearAlgebraProcessor, LAPConfig
+from repro.lap.scheduler import GEMMScheduler, PanelAssignment
+from repro.lap.offchip import OffChipTrafficModel
+from repro.lap.runtime import AlgorithmsByBlocks, LAPRuntime, TaskDescriptor, TaskKind
+
+__all__ = [
+    "LinearAlgebraProcessor",
+    "LAPConfig",
+    "GEMMScheduler",
+    "PanelAssignment",
+    "OffChipTrafficModel",
+    "AlgorithmsByBlocks",
+    "LAPRuntime",
+    "TaskDescriptor",
+    "TaskKind",
+]

@@ -1,0 +1,93 @@
+"""Off-chip traffic accounting for the LAP.
+
+Separates the external-memory view of a GEMM from the on-chip execution: how
+many bytes cross the chip boundary, at what rate they must arrive to keep the
+cores busy, and what happens when the on-chip memory is too small to hold the
+whole block of C (the extra blocking layer of Section 4.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hw.memory import OffChipInterface
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Bytes moved across the chip boundary for one GEMM problem."""
+
+    n: int
+    element_bytes: int
+    a_bytes: float
+    b_bytes: float
+    c_read_bytes: float
+    c_write_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Total off-chip traffic."""
+        return self.a_bytes + self.b_bytes + self.c_read_bytes + self.c_write_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of off-chip traffic."""
+        flops = 2.0 * float(self.n) ** 3
+        return flops / self.total_bytes if self.total_bytes > 0 else float("inf")
+
+
+class OffChipTrafficModel:
+    """Computes off-chip traffic and transfer-limited performance bounds."""
+
+    def __init__(self, num_cores: int, nr: int = 4, element_bytes: int = 8):
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self.nr = nr
+        self.element_bytes = element_bytes
+
+    def traffic(self, n: int, onchip_fraction_of_c: float = 1.0) -> TrafficSummary:
+        """Off-chip traffic of a square ``n x n x n`` GEMM.
+
+        ``onchip_fraction_of_c`` in (0, 1] says what fraction of the C block
+        can be kept resident; smaller fractions mean the panels of A and B are
+        re-streamed once per resident sub-block (``1/fraction`` times).
+        """
+        if n <= 0:
+            raise ValueError("problem size must be positive")
+        if not (0.0 < onchip_fraction_of_c <= 1.0):
+            raise ValueError("the resident fraction of C must lie in (0, 1]")
+        eb = self.element_bytes
+        refetch = 1.0 / onchip_fraction_of_c
+        a_bytes = float(n) * n * eb * refetch
+        b_bytes = float(n) * n * eb * refetch
+        c_read = float(n) * n * eb
+        c_write = float(n) * n * eb
+        return TrafficSummary(n=n, element_bytes=eb, a_bytes=a_bytes, b_bytes=b_bytes,
+                              c_read_bytes=c_read, c_write_bytes=c_write)
+
+    def bandwidth_bound_gflops(self, n: int, interface: OffChipInterface,
+                               onchip_fraction_of_c: float = 1.0) -> float:
+        """Upper bound on GFLOPS imposed by the off-chip interface alone."""
+        summary = self.traffic(n, onchip_fraction_of_c)
+        seconds = summary.total_bytes / (interface.bandwidth_gbytes_per_sec * 1e9)
+        flops = 2.0 * float(n) ** 3
+        return flops / seconds / 1e9 if seconds > 0 else float("inf")
+
+    def compute_bound_gflops(self, frequency_ghz: float) -> float:
+        """Upper bound imposed by the MAC throughput of the cores."""
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        return 2.0 * self.num_cores * self.nr * self.nr * frequency_ghz
+
+    def roofline_gflops(self, n: int, interface: OffChipInterface, frequency_ghz: float,
+                        onchip_fraction_of_c: float = 1.0) -> float:
+        """Roofline-style achievable GFLOPS: min(compute bound, bandwidth bound)."""
+        return min(self.compute_bound_gflops(frequency_ghz),
+                   self.bandwidth_bound_gflops(n, interface, onchip_fraction_of_c))
+
+    def transfer_energy_j(self, n: int, interface: OffChipInterface,
+                          onchip_fraction_of_c: float = 1.0) -> float:
+        """Energy spent moving the problem across the chip boundary."""
+        return interface.transfer_energy_j(self.traffic(n, onchip_fraction_of_c).total_bytes)

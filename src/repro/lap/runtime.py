@@ -1,0 +1,293 @@
+"""Host-side programming model for the LAP.
+
+The dissertation's programming environment (Figure 1.2) layers a standard
+linear-algebra library on top of the accelerator: the host library breaks a
+large routine into *atomic* block operations (e.g. 128 x 128 GEMM, TRSM,
+SYRK, Cholesky tiles), passes each to the LAP through a thin device-driver
+interface (operation code + operand locations), and the LAP raises an
+interrupt when the result block is ready.  Invocation is coarse-grained and
+asynchronous so that the host stays busy.
+
+This module models that software stack:
+
+* :class:`TaskDescriptor` -- one atomic operation handed to the accelerator
+  (the "command packet" of the driver interface);
+* :class:`AlgorithmsByBlocks` -- the host-library layer that decomposes a
+  large GEMM or Cholesky factorization into a dependency-ordered list of
+  tile tasks;
+* :class:`LAPRuntime` -- the driver/dispatcher that executes tasks on the
+  cores of a :class:`repro.lap.chip.LinearAlgebraProcessor`, tracking
+  per-core busy time so that the effect of task-level parallelism and load
+  imbalance can be observed.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.cholesky import lac_cholesky
+from repro.kernels.gemm import lac_gemm
+from repro.kernels.syrk import lac_syrk
+from repro.kernels.trsm import lac_trsm
+from repro.lap.chip import LinearAlgebraProcessor
+
+
+class TaskKind(enum.Enum):
+    """Atomic operations the LAP accepts from the host."""
+
+    GEMM = "gemm"                  #: C_tile += alpha * A_tile @ op(B_tile)
+    SYRK = "syrk"                  #: C_tile += alpha * A_tile @ A_tile^T (lower)
+    TRSM = "trsm"                  #: B_tile := L_tile^{-1} B_tile
+    TRSM_RIGHT_T = "trsm_rt"       #: B_tile := B_tile @ L_tile^{-T}
+    CHOLESKY = "chol"              #: A_tile := chol(A_tile)
+
+
+@dataclass
+class TaskDescriptor:
+    """One atomic tile operation (the command-packet abstraction).
+
+    ``inputs`` and ``output`` are tile coordinates ``(block_row, block_col)``
+    into the blocked operand; ``depends_on`` lists task ids that must complete
+    first (the host library serialises dependent tiles, everything else may
+    run on any idle core).  ``alpha`` scales the product of update tasks
+    (``-1`` for the trailing updates of a factorization) and ``transpose_b``
+    requests the second operand transposed, which the LAC performs over its
+    diagonal PEs at no extra bandwidth cost.
+    """
+
+    task_id: int
+    kind: TaskKind
+    output: Tuple[int, int]
+    inputs: List[Tuple[int, int]] = field(default_factory=list)
+    depends_on: List[int] = field(default_factory=list)
+    alpha: float = 1.0
+    transpose_b: bool = False
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ValueError("task ids must be non-negative")
+
+
+class AlgorithmsByBlocks:
+    """Host-library decomposition of large problems into tile task graphs."""
+
+    def __init__(self, tile: int):
+        if tile < 4:
+            raise ValueError("tile size must be at least the core dimension")
+        self.tile = tile
+        self._ids = itertools.count()
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def gemm_tasks(self, m: int, n: int, k: int) -> List[TaskDescriptor]:
+        """Task list for C += A B with independent C tiles.
+
+        Tiles of C are independent of each other; the ``k`` accumulation for a
+        given C tile is expressed as a chain of dependent GEMM tasks so that
+        the accumulator tile is never written concurrently.
+        """
+        t = self.tile
+        self._check_blocking(m, n, k)
+        tasks: List[TaskDescriptor] = []
+        for bi in range(m // t):
+            for bj in range(n // t):
+                previous: Optional[int] = None
+                for bk in range(k // t):
+                    task = TaskDescriptor(
+                        task_id=self._next_id(), kind=TaskKind.GEMM,
+                        output=(bi, bj), inputs=[(bi, bk), (bk, bj)],
+                        depends_on=[previous] if previous is not None else [])
+                    tasks.append(task)
+                    previous = task.task_id
+        return tasks
+
+    def cholesky_tasks(self, n: int) -> List[TaskDescriptor]:
+        """Task list for a right-looking blocked Cholesky factorization.
+
+        The classic dependency pattern: CHOL(j,j) -> TRSM(i,j) for i>j ->
+        SYRK/GEMM updates of the trailing tiles.
+        """
+        t = self.tile
+        if n % t != 0:
+            raise ValueError("matrix size must be a multiple of the tile size")
+        nb = n // t
+        tasks: List[TaskDescriptor] = []
+        # written[(i, j)] is the id of the last task that wrote tile (i, j).
+        written: Dict[Tuple[int, int], int] = {}
+        for j in range(nb):
+            chol = TaskDescriptor(self._next_id(), TaskKind.CHOLESKY, output=(j, j),
+                                  inputs=[(j, j)],
+                                  depends_on=[written[(j, j)]] if (j, j) in written else [])
+            tasks.append(chol)
+            written[(j, j)] = chol.task_id
+            for i in range(j + 1, nb):
+                deps = [chol.task_id]
+                if (i, j) in written:
+                    deps.append(written[(i, j)])
+                trsm = TaskDescriptor(self._next_id(), TaskKind.TRSM_RIGHT_T, output=(i, j),
+                                      inputs=[(j, j), (i, j)], depends_on=deps)
+                tasks.append(trsm)
+                written[(i, j)] = trsm.task_id
+            for i in range(j + 1, nb):
+                for k in range(j + 1, i + 1):
+                    deps = [written[(i, j)], written[(k, j)]]
+                    if (i, k) in written:
+                        deps.append(written[(i, k)])
+                    kind = TaskKind.SYRK if i == k else TaskKind.GEMM
+                    update = TaskDescriptor(self._next_id(), kind, output=(i, k),
+                                            inputs=[(i, j), (k, j)],
+                                            depends_on=sorted(set(deps)),
+                                            alpha=-1.0, transpose_b=True)
+                    tasks.append(update)
+                    written[(i, k)] = update.task_id
+        return tasks
+
+    def _check_blocking(self, *dims: int) -> None:
+        for d in dims:
+            if d % self.tile != 0:
+                raise ValueError(f"dimension {d} is not a multiple of the tile size {self.tile}")
+
+
+@dataclass
+class TaskExecution:
+    """Record of one executed task (which core ran it, and when)."""
+
+    task_id: int
+    kind: TaskKind
+    core_index: int
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+class LAPRuntime:
+    """Dispatches tile tasks onto the cores of a LAP.
+
+    A simple list scheduler: tasks become ready when all their dependencies
+    have completed; a ready task is assigned to the earliest-available core.
+    Execution of each task is *functional* (the tile data is updated through
+    the LAC simulator) and the per-task cycle counts come from the simulator's
+    counters, so the resulting makespan reflects real kernel costs.
+    """
+
+    def __init__(self, lap: LinearAlgebraProcessor, tile: int):
+        self.lap = lap
+        self.tile = tile
+        self.library = AlgorithmsByBlocks(tile)
+        self.executions: List[TaskExecution] = []
+
+    # ------------------------------------------------------------ execution
+    def _run_task(self, task: TaskDescriptor, core_index: int, tiles: Dict) -> int:
+        """Execute one task on one core; returns the cycles it consumed."""
+        core = self.lap.cores[core_index]
+        before = core.counters.cycles
+        if task.kind is TaskKind.GEMM:
+            (ci, cj), (ai, ak), (bk, bj) = task.output, task.inputs[0], task.inputs[1]
+            b_tile = tiles["B"][(bk, bj)]
+            if task.transpose_b:
+                b_tile = b_tile.T
+            result = lac_gemm(core, tiles["C"][(ci, cj)],
+                              task.alpha * tiles["A"][(ai, ak)], b_tile)
+            tiles["C"][(ci, cj)] = result.output
+        elif task.kind is TaskKind.SYRK:
+            (ci, cj) = task.output
+            (ai, aj) = task.inputs[0]
+            if task.alpha == 1.0 and not task.transpose_b:
+                result = lac_syrk(core, tiles["C"][(ci, cj)], tiles["A"][(ai, aj)])
+            else:
+                # Scaled (e.g. subtracting) updates run through the GEMM path so
+                # the full symmetric tile stays consistent for later tasks.
+                a_tile = tiles["A"][(ai, aj)]
+                result = lac_gemm(core, tiles["C"][(ci, cj)], task.alpha * a_tile, a_tile.T)
+            tiles["C"][(ci, cj)] = result.output
+        elif task.kind is TaskKind.TRSM:
+            (bi, bj) = task.output
+            (li, lj) = task.inputs[0]
+            result = lac_trsm(core, tiles["L"][(li, lj)], tiles["B"][(bi, bj)])
+            tiles["B"][(bi, bj)] = result.output
+        elif task.kind is TaskKind.TRSM_RIGHT_T:
+            # B := B L^{-T}  <=>  solve L X = B^T and transpose back.
+            (bi, bj) = task.output
+            (li, lj) = task.inputs[0]
+            l_tile = np.tril(tiles["L"][(li, lj)])
+            result = lac_trsm(core, l_tile, tiles["B"][(bi, bj)].T)
+            tiles["B"][(bi, bj)] = result.output.T
+        elif task.kind is TaskKind.CHOLESKY:
+            (ai, aj) = task.output
+            result = lac_cholesky(core, tiles["A"][(ai, aj)])
+            tiles["A"][(ai, aj)] = result.output
+        else:  # pragma: no cover - enum exhaustive
+            raise ValueError(f"unknown task kind {task.kind}")
+        return core.counters.cycles - before
+
+    def execute(self, tasks: Sequence[TaskDescriptor], tiles: Dict) -> Dict[str, object]:
+        """Run a task graph to completion; returns makespan and per-core busy time.
+
+        ``tiles`` maps operand names ("A", "B", "C", "L") to dictionaries of
+        tile arrays keyed by block coordinates; tasks update them in place.
+        """
+        remaining = {t.task_id: t for t in tasks}
+        completed_at: Dict[int, int] = {}
+        core_free_at = [0] * len(self.lap.cores)
+        self.executions = []
+
+        while remaining:
+            ready = [t for t in remaining.values()
+                     if all(d in completed_at for d in t.depends_on)]
+            if not ready:
+                raise RuntimeError("task graph deadlock: circular dependencies")
+            # Earliest-finishing-dependency first keeps the schedule compact.
+            ready.sort(key=lambda t: max([completed_at[d] for d in t.depends_on], default=0))
+            task = ready[0]
+            core_index = min(range(len(core_free_at)), key=lambda i: core_free_at[i])
+            earliest_start = max([completed_at[d] for d in task.depends_on], default=0)
+            start = max(core_free_at[core_index], earliest_start)
+            cycles = self._run_task(task, core_index, tiles)
+            end = start + cycles
+            core_free_at[core_index] = end
+            completed_at[task.task_id] = end
+            self.executions.append(TaskExecution(task.task_id, task.kind, core_index,
+                                                 start, end))
+            del remaining[task.task_id]
+
+        makespan = max(core_free_at) if core_free_at else 0
+        busy = [sum(e.cycles for e in self.executions if e.core_index == i)
+                for i in range(len(self.lap.cores))]
+        return {
+            "makespan_cycles": makespan,
+            "per_core_busy_cycles": busy,
+            "parallel_efficiency": (sum(busy) / (makespan * len(busy))) if makespan else 0.0,
+            "tasks_executed": len(self.executions),
+        }
+
+    # ------------------------------------------------------------ helpers
+    @staticmethod
+    def tile_matrix(matrix: np.ndarray, tile: int) -> Dict[Tuple[int, int], np.ndarray]:
+        """Split a matrix into a dictionary of tile blocks."""
+        matrix = np.asarray(matrix, dtype=float)
+        rows, cols = matrix.shape
+        if rows % tile or cols % tile:
+            raise ValueError("matrix dimensions must be multiples of the tile size")
+        return {(i // tile, j // tile): matrix[i:i + tile, j:j + tile].copy()
+                for i in range(0, rows, tile) for j in range(0, cols, tile)}
+
+    @staticmethod
+    def untile_matrix(tiles: Dict[Tuple[int, int], np.ndarray], tile: int) -> np.ndarray:
+        """Reassemble a matrix from its tile dictionary."""
+        if not tiles:
+            raise ValueError("no tiles to assemble")
+        max_i = max(i for i, _ in tiles) + 1
+        max_j = max(j for _, j in tiles) + 1
+        out = np.zeros((max_i * tile, max_j * tile), dtype=float)
+        for (i, j), block in tiles.items():
+            out[i * tile:(i + 1) * tile, j * tile:(j + 1) * tile] = block
+        return out

@@ -1,0 +1,51 @@
+"""Analytical performance, power and efficiency models.
+
+These models reproduce the closed-form analyses of the dissertation:
+
+* :mod:`repro.models.core_model` -- core-level GEMM cycle counts,
+  utilisation vs. local-store size and core-to-memory bandwidth (Chapter 3).
+* :mod:`repro.models.chip_model` -- chip-level memory hierarchy sizing and
+  bandwidth requirements, multi-core utilisation, off-chip blocking
+  (Chapter 4, Table 4.1).
+* :mod:`repro.models.blas_model` -- utilisation of SYRK / SYR2K / TRSM and
+  other level-3 BLAS on the LAC (Chapter 5).
+* :mod:`repro.models.fact_model` -- cycle counts and energy for the matrix
+  factorization inner kernels with optional hardware extensions
+  (Chapter 6, Appendix A).
+* :mod:`repro.models.fft_model` -- FFT bandwidth/storage requirements and
+  cycle counts (Chapter 6.2, Appendix B).
+* :mod:`repro.models.power` -- the dynamic + idle power aggregation model.
+* :mod:`repro.models.efficiency` -- GFLOPS/W, GFLOPS/mm^2, energy-delay and
+  inverse energy-delay metrics.
+* :mod:`repro.models.validation` -- utilisation predictions for published
+  architectures (Fermi C2050, ClearSpeed CSX), Section 4.3.
+"""
+
+from repro.models.core_model import CoreGEMMModel, CoreModelResult
+from repro.models.chip_model import ChipGEMMModel, ChipModelResult, HierarchyRequirements
+from repro.models.blas_model import Level3Operation, BlasCoreModel
+from repro.models.fact_model import FactorizationKernelModel, MACExtension
+from repro.models.fft_model import FFTCoreModel, FFTProblem
+from repro.models.power import PowerComponent, PowerModel, PowerBreakdown
+from repro.models.efficiency import EfficiencyMetrics
+from repro.models.validation import predict_fermi_c2050_utilization, predict_clearspeed_csx_utilization
+
+__all__ = [
+    "CoreGEMMModel",
+    "CoreModelResult",
+    "ChipGEMMModel",
+    "ChipModelResult",
+    "HierarchyRequirements",
+    "Level3Operation",
+    "BlasCoreModel",
+    "FactorizationKernelModel",
+    "MACExtension",
+    "FFTCoreModel",
+    "FFTProblem",
+    "PowerComponent",
+    "PowerModel",
+    "PowerBreakdown",
+    "EfficiencyMetrics",
+    "predict_fermi_c2050_utilization",
+    "predict_clearspeed_csx_utilization",
+]

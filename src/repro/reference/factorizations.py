@@ -1,0 +1,131 @@
+"""NumPy reference implementations of the matrix factorizations.
+
+These provide the ground truth against which the LAC factorization kernels
+(Chapter 6 / Appendix A) are verified:
+
+* Cholesky factorization of a symmetric positive definite matrix,
+* LU factorization with partial pivoting,
+* Householder QR factorization (and the overflow-safe vector norm and
+  Householder-vector computation it relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def ref_cholesky(a: np.ndarray) -> np.ndarray:
+    """Lower-triangular Cholesky factor L of an SPD matrix A (A = L L^T)."""
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"A must be square, got shape {a.shape}")
+    if not np.allclose(a, a.T, atol=1e-10):
+        raise ValueError("A must be symmetric for Cholesky factorization")
+    n = a.shape[0]
+    l = np.zeros_like(a)
+    for j in range(n):
+        diag = a[j, j] - l[j, :j] @ l[j, :j]
+        if diag <= 0.0:
+            raise ValueError("matrix is not positive definite")
+        l[j, j] = np.sqrt(diag)
+        for i in range(j + 1, n):
+            l[i, j] = (a[i, j] - l[i, :j] @ l[j, :j]) / l[j, j]
+    return l
+
+
+def ref_lu_partial_pivoting(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """LU factorization with partial pivoting: returns (P, L, U) with P A = L U.
+
+    ``P`` is returned as a permutation matrix, ``L`` is unit lower triangular
+    and ``U`` is upper triangular.
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2:
+        raise ValueError("A must be 2-D")
+    m, n = a.shape
+    u = a.copy()
+    perm = np.arange(m)
+    l = np.eye(m, dtype=float)
+    for k in range(min(m, n)):
+        pivot = int(np.argmax(np.abs(u[k:, k]))) + k
+        if np.abs(u[pivot, k]) < 1e-300:
+            raise ValueError("matrix is singular to working precision")
+        if pivot != k:
+            u[[k, pivot], :] = u[[pivot, k], :]
+            l[[k, pivot], :k] = l[[pivot, k], :k]
+            perm[[k, pivot]] = perm[[pivot, k]]
+        for i in range(k + 1, m):
+            l[i, k] = u[i, k] / u[k, k]
+            u[i, k:] = u[i, k:] - l[i, k] * u[k, k:]
+            u[i, k] = 0.0
+    p = np.zeros((m, m), dtype=float)
+    p[np.arange(m), perm] = 1.0
+    return p, l, np.triu(u)
+
+
+def ref_vector_norm(x: np.ndarray) -> float:
+    """Overflow/underflow-safe 2-norm: scale by the largest magnitude first."""
+    x = np.asarray(x, dtype=float).ravel()
+    if x.size == 0:
+        return 0.0
+    t = np.max(np.abs(x))
+    if t == 0.0:
+        return 0.0
+    y = x / t
+    return float(t * np.sqrt(np.dot(y, y)))
+
+
+def ref_householder_vector(x: np.ndarray) -> Tuple[float, np.ndarray, float]:
+    """Compute the Householder reflector of a vector.
+
+    Given ``x = [alpha1; x2]`` returns ``(rho1, u2, tau1)`` such that
+    ``(I - [1; u2][1; u2]^T / tau1) x = [rho1; 0]`` -- the efficient
+    formulation of Table 6.1 (right column).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    if x.size == 0:
+        raise ValueError("cannot compute a Householder vector of an empty vector")
+    alpha1 = x[0]
+    x2 = x[1:]
+    chi2 = ref_vector_norm(x2)
+    if chi2 == 0.0:
+        # Already in reflected form; identity transformation.
+        return float(alpha1), np.zeros_like(x2), float("inf")
+    alpha = ref_vector_norm(np.array([alpha1, chi2]))
+    rho1 = -np.sign(alpha1) * alpha if alpha1 != 0.0 else -alpha
+    nu1 = alpha1 - rho1
+    u2 = x2 / nu1
+    chi2_scaled = chi2 / abs(nu1)
+    tau1 = (1.0 + chi2_scaled ** 2) / 2.0
+    return float(rho1), u2, float(tau1)
+
+
+def ref_householder_qr(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Householder QR factorization: returns (Q, R) with A = Q R.
+
+    ``Q`` is returned explicitly (m x n with orthonormal columns) and ``R`` is
+    upper triangular (n x n); ``m >= n`` is required.
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2:
+        raise ValueError("A must be 2-D")
+    m, n = a.shape
+    if m < n:
+        raise ValueError("Householder QR here requires m >= n")
+    r = a.copy()
+    q = np.eye(m, dtype=float)
+    for k in range(n):
+        rho, u2, tau = ref_householder_vector(r[k:, k])
+        if not np.isfinite(tau):
+            continue
+        u = np.concatenate(([1.0], u2))
+        # Apply H = I - u u^T / tau to the trailing panel of R and to Q.
+        w = (u @ r[k:, k:]) / tau
+        r[k:, k:] -= np.outer(u, w)
+        wq = (q[:, k:] @ u) / tau
+        q[:, k:] -= np.outer(wq, u)
+        r[k + 1:, k] = 0.0
+        r[k, k] = rho
+    return q[:, :n], np.triu(r[:n, :])

@@ -1,0 +1,54 @@
+"""NumPy reference implementations for the FFT kernels.
+
+Two references are provided:
+
+* :func:`ref_dft` -- the textbook O(N^2) discrete Fourier transform, used as
+  an independent check for small sizes;
+* :func:`ref_fft_radix4` -- an explicit decimation-in-time radix-4 FFT that
+  mirrors the butterfly structure the LAC kernel uses, so that intermediate
+  stage outputs can also be compared if needed.
+
+Both compute the unnormalised forward transform
+``X[k] = sum_n x[n] * exp(-2*pi*i*n*k/N)``, matching ``numpy.fft.fft``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ref_dft(x: np.ndarray) -> np.ndarray:
+    """Direct O(N^2) DFT of a complex vector."""
+    x = np.asarray(x, dtype=complex).ravel()
+    n = x.size
+    if n == 0:
+        return x.copy()
+    k = np.arange(n)
+    twiddle = np.exp(-2j * np.pi * np.outer(k, k) / n)
+    return twiddle @ x
+
+
+def ref_fft_radix4(x: np.ndarray) -> np.ndarray:
+    """Recursive radix-4 decimation-in-time FFT (N must be a power of 4)."""
+    x = np.asarray(x, dtype=complex).ravel()
+    n = x.size
+    if n == 1:
+        return x.copy()
+    if n % 4 != 0:
+        raise ValueError(f"radix-4 FFT requires a power-of-4 length, got {n}")
+    # Split into four interleaved sub-sequences and transform each.
+    sub = [ref_fft_radix4(x[i::4]) for i in range(4)]
+    k = np.arange(n // 4)
+    w1 = np.exp(-2j * np.pi * k / n)
+    w2 = w1 * w1
+    w3 = w2 * w1
+    t0 = sub[0]
+    t1 = w1 * sub[1]
+    t2 = w2 * sub[2]
+    t3 = w3 * sub[3]
+    out = np.empty(n, dtype=complex)
+    out[0 * (n // 4):1 * (n // 4)] = t0 + t1 + t2 + t3
+    out[1 * (n // 4):2 * (n // 4)] = t0 - 1j * t1 - t2 + 1j * t3
+    out[2 * (n // 4):3 * (n // 4)] = t0 - t1 + t2 - t3
+    out[3 * (n // 4):4 * (n // 4)] = t0 + 1j * t1 - t2 - 1j * t3
+    return out

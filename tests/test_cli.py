@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_experiments_list(capsys):
+    assert main(["experiments", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table_3_1" in out
+    assert "fig_4_16" in out
+
+
+def test_experiments_single_table(capsys):
+    assert main(["experiments", "table_5_1"]) == 0
+    out = capsys.readouterr().out
+    assert "== table_5_1 ==" in out
+    assert "gemm" in out
+
+
+def test_experiments_unknown_id(capsys):
+    assert main(["experiments", "table_nonexistent"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment ids" in err
+
+
+def test_simulate_gemm(capsys):
+    assert main(["simulate", "gemm", "--size", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel        : gemm" in out
+    assert "utilisation" in out
+
+
+def test_simulate_cholesky_and_fft(capsys):
+    assert main(["simulate", "cholesky", "--size", "8"]) == 0
+    assert main(["simulate", "fft", "--size", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "cholesky" in out and "fft" in out
+
+
+def test_simulate_rejects_misaligned_size(capsys):
+    assert main(["simulate", "gemm", "--size", "10"]) == 2
+    assert "multiple of nr" in capsys.readouterr().err
+
+
+def test_design_summary(capsys):
+    assert main(["design", "--cores", "8", "--frequency", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "gflops_per_w" in out
+    assert "area_mm2" in out
+
+
+def test_parser_structure():
+    parser = build_parser()
+    args = parser.parse_args(["simulate", "trsm", "--size", "12", "--nr", "4"])
+    assert args.kernel == "trsm"
+    assert args.size == 12
+    with pytest.raises(SystemExit):
+        parser.parse_args(["simulate", "not-a-kernel"])

@@ -1,0 +1,154 @@
+"""Edge-case and failure-injection tests across module boundaries.
+
+These exercise the error paths a downstream user is most likely to hit:
+ill-conditioned or malformed operands handed to the kernels, inconsistent
+configurations handed to the models, and numerical corner cases (huge/tiny
+magnitudes, exactly-singular systems) that the guarded algorithms are
+supposed to survive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.sfu import SpecialOp
+from repro.kernels import (lac_cholesky, lac_fft, lac_gemm, lac_lu_blocked, lac_syrk,
+                           lac_trsm, lac_vector_norm)
+from repro.lac import LACConfig, LinearAlgebraCore
+from repro.lac.pe import PEConfig
+from repro.models.core_model import CoreGEMMModel
+from repro.models.power import PowerComponent, PowerModel
+from repro.reference import ref_trsm
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+# --------------------------------------------------------- numerical edges
+def test_gemm_with_extreme_magnitudes(rng):
+    """Mixed huge/tiny entries survive the accumulator path without overflow."""
+    core = LinearAlgebraCore()
+    a = rng.random((4, 4)) * 1e150
+    b = rng.random((4, 4)) * 1e-150
+    c = np.zeros((4, 4))
+    result = lac_gemm(core, c, a, b)
+    np.testing.assert_allclose(result.output, a @ b, rtol=1e-12)
+    assert np.all(np.isfinite(result.output))
+
+
+def test_gemm_with_negative_and_zero_rows(rng):
+    core = LinearAlgebraCore()
+    a = rng.standard_normal((8, 8))
+    a[3, :] = 0.0
+    b = -rng.standard_normal((8, 8))
+    c = rng.standard_normal((8, 8))
+    result = lac_gemm(core, c, a, b)
+    np.testing.assert_allclose(result.output, c + a @ b, rtol=1e-12)
+
+
+def test_trsm_near_singular_still_accurate(rng):
+    """A tiny (but representable) diagonal entry must not break the solve."""
+    core = LinearAlgebraCore()
+    l = np.tril(rng.random((8, 8))) + 8 * np.eye(8)
+    l[5, 5] = 1e-8
+    b = rng.random((8, 8))
+    result = lac_trsm(core, l, b)
+    np.testing.assert_allclose(np.tril(l) @ result.output, b, rtol=1e-6, atol=1e-8)
+
+
+def test_trsm_exactly_singular_rejected(rng):
+    core = LinearAlgebraCore()
+    l = np.tril(rng.random((8, 8))) + 8 * np.eye(8)
+    l[5, 5] = 0.0
+    with pytest.raises(ValueError):
+        lac_trsm(core, l, rng.random((8, 8)))
+
+
+def test_cholesky_of_nearly_indefinite_matrix_rejected(rng):
+    core = LinearAlgebraCore()
+    m = rng.random((8, 8))
+    a = m @ m.T
+    a -= (np.linalg.eigvalsh(a)[0] + 1e-3) * np.eye(8)   # push lowest eigenvalue negative
+    a = (a + a.T) / 2.0
+    with pytest.raises(ValueError):
+        lac_cholesky(core, a)
+
+
+def test_blocked_lu_of_permutation_matrix(rng):
+    """A permutation matrix is an adversarial case for pivot bookkeeping."""
+    core = LinearAlgebraCore()
+    perm = np.eye(8)[rng.permutation(8), :]
+    result = lac_lu_blocked(core, perm)
+    from repro.kernels.blocked_factorizations import lu_blocked_reconstruct
+    l, u = lu_blocked_reconstruct(result.output)
+    np.testing.assert_allclose(np.abs(np.diag(u)), np.ones(8), atol=1e-12)
+    np.testing.assert_allclose(l @ u, perm[result.extra["permutation"], :], atol=1e-12)
+
+
+def test_vector_norm_of_single_element_and_constant_vectors():
+    core = LinearAlgebraCore()
+    assert lac_vector_norm(core, np.array([-3.0])).output == pytest.approx(3.0)
+    assert lac_vector_norm(LinearAlgebraCore(), np.full(16, 2.0)).output == \
+        pytest.approx(8.0)
+
+
+def test_fft_of_alternating_signal():
+    core = LinearAlgebraCore()
+    x = np.array([1.0, -1.0] * 32, dtype=complex)
+    result = lac_fft(core, x)
+    expected = np.zeros(64, dtype=complex)
+    expected[32] = 64.0
+    np.testing.assert_allclose(result.output, expected, atol=1e-10)
+
+
+def test_syrk_with_zero_operand(rng):
+    core = LinearAlgebraCore()
+    c = rng.random((8, 8))
+    result = lac_syrk(core, c, np.zeros((8, 8)))
+    lower = np.tril_indices(8)
+    np.testing.assert_allclose(result.output[lower], c[lower])
+
+
+# ------------------------------------------------------ configuration edges
+def test_simulator_rejects_out_of_capacity_distribution(rng):
+    """Distributing a block bigger than MEM A must fail loudly, not wrap."""
+    tiny = LinearAlgebraCore(LACConfig(nr=4, pe=PEConfig(store_a_words=4, store_b_words=4)))
+    with pytest.raises(IndexError):
+        tiny.distribute_a(rng.random((32, 32)))
+
+
+def test_special_function_domain_errors_are_contained():
+    core = LinearAlgebraCore()
+    with pytest.raises(ZeroDivisionError):
+        core.special(SpecialOp.DIVIDE, 0.0)
+    # The failed operation still charged its latency and was counted.
+    assert core.counters.sfu_ops == 1
+    assert core.counters.cycles > 0
+
+
+def test_core_model_extreme_aspect_ratios():
+    model = CoreGEMMModel(nr=4)
+    wide = model.cycles(mc=4, kc=1024, n=4096, bandwidth_elements_per_cycle=2.0)
+    tall = model.cycles(mc=1024, kc=4, n=4096, bandwidth_elements_per_cycle=2.0)
+    assert 0.0 < wide.utilization <= 1.0
+    assert 0.0 < tall.utilization <= 1.0
+
+
+def test_power_model_all_idle_architecture():
+    model = PowerModel(idle_ratio=0.3)
+    breakdown = model.breakdown("gated", [PowerComponent("FPU", 10.0, activity=0.0)],
+                                gflops=0.0)
+    assert breakdown.dynamic_power_w == 0.0
+    assert breakdown.total_power_w == 0.0
+    assert breakdown.gflops_per_watt == 0.0
+
+
+def test_reference_trsm_and_simulator_agree_on_ill_conditioned_system(rng):
+    """Cross-check: both solvers degrade gracefully on an ill-conditioned L."""
+    l = np.tril(rng.random((8, 8)))
+    np.fill_diagonal(l, np.geomspace(1.0, 1e-6, 8))
+    b = rng.random((8, 4))
+    sim = lac_trsm(LinearAlgebraCore(), l, b).output
+    ref = ref_trsm(l, b)
+    np.testing.assert_allclose(sim, ref, rtol=1e-6, atol=1e-6)

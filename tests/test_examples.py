@@ -1,0 +1,55 @@
+"""Smoke tests that every shipped example runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(EXAMPLES_DIR / script), *args],
+                          capture_output=True, text=True, timeout=600)
+
+
+def test_examples_directory_has_required_scripts():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 4  # quickstart plus at least three scenario scripts
+
+
+def test_quickstart_runs_and_reports_efficiency():
+    proc = _run("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "GFLOPS/W" in proc.stdout
+    assert "numerically correct  : True" in proc.stdout
+
+
+def test_design_space_exploration_runs():
+    proc = _run("design_space_exploration.py", "--target-gflops", "300")
+    assert proc.returncode == 0, proc.stderr
+    assert "Resulting LAP design point" in proc.stdout
+    assert "GFLOPS/W" in proc.stdout
+
+
+def test_blas_and_factorizations_runs():
+    proc = _run("blas_and_factorizations.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Cholesky" in proc.stdout
+    assert "relative residual" in proc.stdout
+    assert "MISMATCH" not in proc.stdout
+
+
+def test_fft_and_hybrid_core_runs():
+    proc = _run("fft_and_hybrid_core.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "correct=True" in proc.stdout
+    assert "hybrid" in proc.stdout
+
+
+def test_reproduce_paper_tables_single_experiment():
+    proc = _run("reproduce_paper_tables.py", "table_4_1", "--max-rows", "4")
+    assert proc.returncode == 0, proc.stderr
+    assert "== table_4_1 ==" in proc.stdout

@@ -1,0 +1,96 @@
+"""Functional tests for the radix-4 FFT kernel on the LAC."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.fft import lac_fft
+from repro.lac.core import LinearAlgebraCore
+from repro.models.fft_model import FMA_OPS_PER_RADIX4_BUTTERFLY
+from repro.reference import ref_dft, ref_fft_radix4
+
+
+@pytest.fixture
+def core():
+    return LinearAlgebraCore()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+@pytest.mark.parametrize("n", [4, 16, 64, 256])
+def test_fft_matches_numpy(core, rng, n):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    result = lac_fft(core, x)
+    np.testing.assert_allclose(result.output, np.fft.fft(x), rtol=1e-10, atol=1e-10)
+
+
+def test_fft_matches_reference_radix4_and_dft(rng):
+    x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    np.testing.assert_allclose(ref_fft_radix4(x), np.fft.fft(x), rtol=1e-10, atol=1e-10)
+    np.testing.assert_allclose(ref_dft(x), np.fft.fft(x), rtol=1e-8, atol=1e-8)
+
+
+def test_fft_of_impulse_is_flat(core):
+    x = np.zeros(64, dtype=complex)
+    x[0] = 1.0
+    result = lac_fft(core, x)
+    np.testing.assert_allclose(result.output, np.ones(64, dtype=complex), atol=1e-12)
+
+
+def test_fft_of_constant_is_impulse(core):
+    x = np.ones(64, dtype=complex)
+    result = lac_fft(core, x)
+    expected = np.zeros(64, dtype=complex)
+    expected[0] = 64.0
+    np.testing.assert_allclose(result.output, expected, atol=1e-10)
+
+
+def test_fft_linearity(core, rng):
+    x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    y = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    fx = lac_fft(LinearAlgebraCore(), x).output
+    fy = lac_fft(LinearAlgebraCore(), y).output
+    fxy = lac_fft(LinearAlgebraCore(), 2.0 * x + 3.0 * y).output
+    np.testing.assert_allclose(fxy, 2.0 * fx + 3.0 * fy, rtol=1e-9, atol=1e-9)
+
+
+def test_fft_parseval_energy_conservation(core, rng):
+    x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+    result = lac_fft(core, x)
+    energy_time = np.sum(np.abs(x) ** 2)
+    energy_freq = np.sum(np.abs(result.output) ** 2) / 256
+    assert energy_freq == pytest.approx(energy_time, rel=1e-10)
+
+
+def test_fft_counts_butterfly_fma_operations(core, rng):
+    n = 64
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    result = lac_fft(core, x)
+    stages = 3  # log4(64)
+    expected_macs = stages * (n // 4) * FMA_OPS_PER_RADIX4_BUTTERFLY
+    assert result.counters.mac_ops == expected_macs
+
+
+def test_fft_rejects_non_power_of_four_lengths(core, rng):
+    with pytest.raises(ValueError):
+        lac_fft(core, rng.standard_normal(8))   # power of two, not of four
+    with pytest.raises(ValueError):
+        lac_fft(core, rng.standard_normal(12))
+    with pytest.raises(ValueError):
+        lac_fft(core, rng.standard_normal(2))
+
+
+def test_large_fft_uses_four_step_decomposition(rng):
+    """A 4096-point transform blocked at 64 points must still be correct."""
+    x = rng.standard_normal(4096) + 1j * rng.standard_normal(4096)
+    result = lac_fft(LinearAlgebraCore(), x, block_points=64)
+    np.testing.assert_allclose(result.output, np.fft.fft(x), rtol=1e-9, atol=1e-8)
+
+
+def test_fft_charges_external_transfers(core, rng):
+    result = lac_fft(core, rng.standard_normal(64) + 0j)
+    assert result.counters.external_loads >= 2 * 64
+    assert result.counters.external_stores >= 2 * 64
+    assert result.cycles > 0

@@ -1,0 +1,120 @@
+"""Functional and cycle-count tests for GEMM on the LAC simulator."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.common import pad_to_multiple
+from repro.kernels.gemm import lac_gemm, lac_gemm_steady_state_cycles, lac_rank1_sequence
+from repro.lac.core import LACConfig, LinearAlgebraCore
+from repro.reference import ref_gemm
+
+
+@pytest.fixture
+def core():
+    return LinearAlgebraCore()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_rank1_sequence_matches_numpy(core, rng):
+    c = rng.random((4, 4))
+    a = rng.random((4, 16))
+    b = rng.random((16, 4))
+    out = lac_rank1_sequence(core, c, a, b)
+    np.testing.assert_allclose(out, c + a @ b, rtol=1e-12)
+
+
+def test_rank1_sequence_shape_validation(core):
+    with pytest.raises(ValueError):
+        lac_rank1_sequence(core, np.zeros((3, 3)), np.zeros((4, 8)), np.zeros((8, 4)))
+    with pytest.raises(ValueError):
+        lac_rank1_sequence(core, np.zeros((4, 4)), np.zeros((4, 8)), np.zeros((6, 4)))
+
+
+@pytest.mark.parametrize("m,k,n", [(4, 4, 4), (8, 8, 8), (8, 16, 4), (12, 8, 16)])
+def test_gemm_matches_reference(core, rng, m, k, n):
+    c = rng.random((m, n))
+    a = rng.random((m, k))
+    b = rng.random((k, n))
+    result = lac_gemm(core, c, a, b)
+    np.testing.assert_allclose(result.output, ref_gemm(c, a, b), rtol=1e-12)
+
+
+def test_gemm_counts_exact_number_of_macs(core, rng):
+    m, k, n = 8, 8, 8
+    result = lac_gemm(core, rng.random((m, n)), rng.random((m, k)), rng.random((k, n)))
+    assert result.counters.mac_ops == m * k * n
+
+
+def test_gemm_does_not_modify_inputs(core, rng):
+    c = rng.random((8, 8))
+    c_before = c.copy()
+    lac_gemm(core, c, rng.random((8, 8)), rng.random((8, 8)))
+    np.testing.assert_array_equal(c, c_before)
+
+
+def test_gemm_dimension_validation(core, rng):
+    with pytest.raises(ValueError):
+        lac_gemm(core, rng.random((8, 8)), rng.random((8, 6)), rng.random((6, 8)))
+    with pytest.raises(ValueError):
+        lac_gemm(core, rng.random((8, 9)), rng.random((8, 8)), rng.random((8, 8)))
+    with pytest.raises(ValueError):
+        lac_gemm(core, rng.random((6, 8)), rng.random((6, 8)), rng.random((8, 8)))
+
+
+def test_gemm_on_8x8_core(rng):
+    core8 = LinearAlgebraCore(LACConfig(nr=8))
+    c = rng.random((16, 16))
+    a = rng.random((16, 8))
+    b = rng.random((8, 16))
+    result = lac_gemm(core8, c, a, b)
+    np.testing.assert_allclose(result.output, c + a @ b, rtol=1e-12)
+    assert result.num_pes == 64
+
+
+def test_gemm_utilization_improves_with_problem_size(rng):
+    small_core = LinearAlgebraCore()
+    big_core = LinearAlgebraCore()
+    small = lac_gemm(small_core, np.zeros((4, 4)), rng.random((4, 4)), rng.random((4, 4)))
+    big = lac_gemm(big_core, np.zeros((16, 16)), rng.random((16, 32)), rng.random((32, 16)))
+    assert big.utilization > small.utilization
+
+
+def test_steady_state_cycle_formula_matches_rank1_count():
+    assert lac_gemm_steady_state_cycles(4, 16, 32, 8) == (16 // 4) * (8 // 4) * 32
+    with pytest.raises(ValueError):
+        lac_gemm_steady_state_cycles(4, 0, 8, 8)
+
+
+def test_kernel_result_gflops_positive(core, rng):
+    result = lac_gemm(core, np.zeros((8, 8)), rng.random((8, 8)), rng.random((8, 8)))
+    assert result.gflops(1.0) > 0.0
+    with pytest.raises(ValueError):
+        result.gflops(0.0)
+
+
+def test_pad_to_multiple_helper():
+    m = np.ones((5, 7))
+    padded = pad_to_multiple(m, 4)
+    assert padded.shape == (8, 8)
+    np.testing.assert_array_equal(padded[:5, :7], m)
+    assert padded[5:, :].sum() == 0.0
+    with pytest.raises(ValueError):
+        pad_to_multiple(np.ones(3), 4)
+    with pytest.raises(ValueError):
+        pad_to_multiple(m, 0)
+
+
+def test_gemm_zero_matrices(core):
+    result = lac_gemm(core, np.zeros((4, 4)), np.zeros((4, 4)), np.zeros((4, 4)))
+    np.testing.assert_array_equal(result.output, np.zeros((4, 4)))
+
+
+def test_gemm_identity_multiplication(core):
+    identity = np.eye(8)
+    b = np.arange(64, dtype=float).reshape(8, 8)
+    result = lac_gemm(core, np.zeros((8, 8)), identity, b)
+    np.testing.assert_allclose(result.output, b)

@@ -1,0 +1,150 @@
+"""Functional tests for SYRK, SYR2K and TRSM on the LAC simulator."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.syrk import lac_syr2k, lac_syrk
+from repro.kernels.trsm import lac_trsm, lac_trsm_unblocked, trsm_unblocked_cycle_estimate
+from repro.lac.core import LACConfig, LinearAlgebraCore
+from repro.reference import ref_syr2k, ref_syrk, ref_trsm
+
+
+@pytest.fixture
+def core():
+    return LinearAlgebraCore()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+# ----------------------------------------------------------------- SYRK
+@pytest.mark.parametrize("mc,kc", [(4, 4), (8, 8), (8, 16), (12, 8)])
+def test_syrk_matches_reference(core, rng, mc, kc):
+    c = rng.random((mc, mc))
+    a = rng.random((mc, kc))
+    result = lac_syrk(core, c, a)
+    np.testing.assert_allclose(result.output, ref_syrk(c, a), rtol=1e-12)
+
+
+def test_syrk_leaves_strict_upper_triangle_untouched(core, rng):
+    c = rng.random((8, 8))
+    a = rng.random((8, 8))
+    result = lac_syrk(core, c, a)
+    upper = np.triu_indices(8, k=1)
+    np.testing.assert_array_equal(result.output[upper], c[upper])
+
+
+def test_syrk_uses_diagonal_transpose_broadcasts(core, rng):
+    result = lac_syrk(core, rng.random((4, 4)), rng.random((4, 8)))
+    # The transposing kernel drives both bus sets every iteration.
+    assert result.counters.row_broadcasts > 0
+    assert result.counters.column_broadcasts > 0
+
+
+def test_syrk_shape_validation(core, rng):
+    with pytest.raises(ValueError):
+        lac_syrk(core, rng.random((8, 4)), rng.random((8, 8)))
+
+
+# ---------------------------------------------------------------- SYR2K
+@pytest.mark.parametrize("mc,kc", [(4, 4), (8, 8)])
+def test_syr2k_matches_reference(core, rng, mc, kc):
+    c = rng.random((mc, mc))
+    a = rng.random((mc, kc))
+    b = rng.random((mc, kc))
+    result = lac_syr2k(core, c, a, b)
+    np.testing.assert_allclose(result.output, ref_syr2k(c, a, b), rtol=1e-12)
+
+
+def test_syr2k_requires_matching_operand_shapes(core, rng):
+    with pytest.raises(ValueError):
+        lac_syr2k(core, rng.random((8, 8)), rng.random((8, 8)), rng.random((8, 4)))
+
+
+def test_syr2k_does_roughly_twice_the_macs_of_syrk(rng):
+    c = rng.random((8, 8))
+    a = rng.random((8, 8))
+    b = rng.random((8, 8))
+    core1, core2 = LinearAlgebraCore(), LinearAlgebraCore()
+    syrk = lac_syrk(core1, c, a)
+    syr2k = lac_syr2k(core2, c, a, b)
+    assert syr2k.counters.mac_ops > 1.8 * syrk.counters.mac_ops
+
+
+# ----------------------------------------------------------------- TRSM
+def _well_conditioned_lower(rng, n):
+    return np.tril(rng.random((n, n))) + n * np.eye(n)
+
+
+@pytest.mark.parametrize("variant", ["basic", "stacked", "software_pipelined"])
+def test_trsm_unblocked_matches_reference(core, rng, variant):
+    l = _well_conditioned_lower(rng, 4)
+    b = rng.random((4, 12))
+    out = lac_trsm_unblocked(core, l, b, variant=variant)
+    np.testing.assert_allclose(out, np.linalg.solve(np.tril(l), b), rtol=1e-12)
+
+
+def test_trsm_unblocked_variant_validation(core, rng):
+    with pytest.raises(ValueError):
+        lac_trsm_unblocked(core, _well_conditioned_lower(rng, 4), rng.random((4, 4)),
+                           variant="bogus")
+
+
+@pytest.mark.parametrize("k,m", [(4, 4), (8, 8), (8, 16), (16, 8)])
+def test_trsm_blocked_matches_reference(core, rng, k, m):
+    l = _well_conditioned_lower(rng, k)
+    b = rng.random((k, m))
+    result = lac_trsm(core, l, b)
+    np.testing.assert_allclose(result.output, ref_trsm(l, b), rtol=1e-10)
+
+
+def test_trsm_detects_singular_triangle(core, rng):
+    l = _well_conditioned_lower(rng, 8)
+    l[3, 3] = 0.0
+    with pytest.raises(ValueError):
+        lac_trsm(core, l, rng.random((8, 8)))
+
+
+def test_trsm_solution_verifies_forward_substitution(core, rng):
+    l = _well_conditioned_lower(rng, 8)
+    b = rng.random((8, 8))
+    x = lac_trsm(core, l, b).output
+    np.testing.assert_allclose(np.tril(l) @ x, b, rtol=1e-10)
+
+
+def test_trsm_uses_sfu_for_reciprocals(core, rng):
+    l = _well_conditioned_lower(rng, 8)
+    result = lac_trsm(core, l, rng.random((8, 8)))
+    assert result.counters.sfu_ops == 8  # one reciprocal per diagonal element
+
+
+def test_stacking_and_pipelining_reduce_cycle_estimates():
+    """Paper: stacked fills the FPU pipeline, software pipelining nearly doubles speed."""
+    nr, p = 4, 8
+    basic_per_block = trsm_unblocked_cycle_estimate(nr, p, "basic")
+    stacked_total = trsm_unblocked_cycle_estimate(nr, p, "stacked", stacked_blocks=p)
+    stacked_per_block = stacked_total / p
+    assert stacked_per_block < basic_per_block / 4
+    g = 4
+    sw_total = trsm_unblocked_cycle_estimate(nr, p, "software_pipelined", groups=g)
+    sw_per_block = sw_total / (g * p)
+    assert sw_per_block < stacked_per_block
+
+
+def test_cycle_estimate_validation():
+    with pytest.raises(ValueError):
+        trsm_unblocked_cycle_estimate(4, 8, "unknown")
+    with pytest.raises(ValueError):
+        trsm_unblocked_cycle_estimate(4, 8, "stacked", stacked_blocks=0)
+    with pytest.raises(ValueError):
+        trsm_unblocked_cycle_estimate(4, 8, "software_pipelined", groups=0)
+
+
+def test_trsm_on_8x8_core(rng):
+    core8 = LinearAlgebraCore(LACConfig(nr=8))
+    l = _well_conditioned_lower(rng, 8)
+    b = rng.random((8, 8))
+    result = lac_trsm(core8, l, b)
+    np.testing.assert_allclose(result.output, ref_trsm(l, b), rtol=1e-10)

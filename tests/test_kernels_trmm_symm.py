@@ -1,0 +1,85 @@
+"""Functional tests for TRMM and SYMM on the LAC simulator."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.symm import lac_symm
+from repro.kernels.trmm import lac_trmm
+from repro.lac.core import LinearAlgebraCore
+from repro.reference import ref_symm, ref_trmm
+
+
+@pytest.fixture
+def core():
+    return LinearAlgebraCore()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.mark.parametrize("k,m", [(4, 4), (8, 8), (8, 12), (12, 8)])
+def test_trmm_matches_reference(core, rng, k, m):
+    l = np.tril(rng.random((k, k)))
+    b = rng.random((k, m))
+    result = lac_trmm(core, l, b)
+    np.testing.assert_allclose(result.output, ref_trmm(l, b), rtol=1e-12)
+
+
+def test_trmm_identity_is_identity(core, rng):
+    b = rng.random((8, 8))
+    result = lac_trmm(core, np.eye(8), b)
+    np.testing.assert_allclose(result.output, b, rtol=1e-12)
+
+
+def test_trmm_ignores_strictly_upper_entries_of_l(core, rng):
+    l_full = rng.random((8, 8))
+    b = rng.random((8, 8))
+    r1 = lac_trmm(LinearAlgebraCore(), l_full, b)
+    r2 = lac_trmm(LinearAlgebraCore(), np.tril(l_full), b)
+    np.testing.assert_allclose(r1.output, r2.output, rtol=1e-12)
+
+
+def test_trmm_shape_validation(core, rng):
+    with pytest.raises(ValueError):
+        lac_trmm(core, rng.random((8, 4)), rng.random((8, 8)))
+    with pytest.raises(ValueError):
+        lac_trmm(core, np.tril(rng.random((8, 8))), rng.random((4, 8)))
+
+
+@pytest.mark.parametrize("m,n", [(4, 4), (8, 8), (8, 12)])
+def test_symm_matches_reference(core, rng, m, n):
+    c = rng.random((m, n))
+    a_lower = np.tril(rng.random((m, m)))
+    b = rng.random((m, n))
+    result = lac_symm(core, c, a_lower, b)
+    np.testing.assert_allclose(result.output, ref_symm(c, a_lower, b), rtol=1e-12)
+
+
+def test_symm_only_reads_lower_triangle(core, rng):
+    """Garbage in the strict upper triangle of A must not change the result."""
+    c = rng.random((8, 8))
+    b = rng.random((8, 8))
+    a_lower = np.tril(rng.random((8, 8)))
+    a_garbage = a_lower + np.triu(1e6 * rng.random((8, 8)), k=1)
+    r_clean = lac_symm(LinearAlgebraCore(), c, a_lower, b)
+    r_garbage = lac_symm(LinearAlgebraCore(), c, a_garbage, b)
+    np.testing.assert_allclose(r_clean.output, r_garbage.output, rtol=1e-12)
+
+
+def test_symm_shape_validation(core, rng):
+    with pytest.raises(ValueError):
+        lac_symm(core, rng.random((8, 8)), rng.random((8, 4)), rng.random((8, 8)))
+    with pytest.raises(ValueError):
+        lac_symm(core, rng.random((4, 8)), rng.random((8, 8)), rng.random((8, 8)))
+
+
+def test_symm_equals_gemm_with_symmetrised_operand(core, rng):
+    """SYMM must agree with an explicit GEMM on the symmetrised matrix."""
+    c = rng.random((8, 8))
+    a_lower = np.tril(rng.random((8, 8)))
+    a_sym = a_lower + np.tril(a_lower, -1).T
+    b = rng.random((8, 8))
+    result = lac_symm(core, c, a_lower, b)
+    np.testing.assert_allclose(result.output, c + a_sym @ b, rtol=1e-12)

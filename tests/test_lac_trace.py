@@ -1,0 +1,78 @@
+"""Tests for the execution trace module."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.gemm import lac_gemm, lac_rank1_sequence
+from repro.lac.core import LinearAlgebraCore
+from repro.lac.trace import ExecutionTrace
+
+
+@pytest.fixture
+def core():
+    return LinearAlgebraCore()
+
+
+def test_phase_records_cycles_and_macs(core):
+    trace = ExecutionTrace(core)
+    rng = np.random.default_rng(0)
+    with trace.phase("distribute A"):
+        core.distribute_a(rng.random((8, 8)))
+    with trace.phase("rank-1 updates"):
+        lac_rank1_sequence(core, np.zeros((4, 4)), rng.random((4, 8)), rng.random((8, 4)))
+    assert len(trace.events) == 2
+    by_phase = trace.cycles_by_phase()
+    assert by_phase["distribute A"] > 0
+    assert by_phase["rank-1 updates"] > 0
+    assert trace.total_cycles == sum(by_phase.values())
+    # Only the rank-1 phase issues MACs.
+    assert trace.phases("distribute A")[0].mac_ops == 0
+    assert trace.phases("rank-1 updates")[0].mac_ops == 4 * 4 * 8
+
+
+def test_nested_phases_do_not_double_count(core):
+    trace = ExecutionTrace(core)
+    with trace.phase("outer"):
+        core.tick(10)
+        with trace.phase("inner"):
+            core.tick(5)
+    assert trace.total_cycles == 15  # outer only (inner is nested)
+    inner = trace.phases("inner")[0]
+    outer = trace.phases("outer")[0]
+    assert inner.nesting == 1 and outer.nesting == 0
+    assert inner.cycles == 5 and outer.cycles == 15
+
+
+def test_summary_rows_and_utilization(core):
+    trace = ExecutionTrace(core)
+    rng = np.random.default_rng(1)
+    with trace.phase("gemm"):
+        lac_gemm(core, rng.random((8, 8)), rng.random((8, 8)), rng.random((8, 8)))
+    rows = trace.summary_rows()
+    assert len(rows) == 1
+    assert rows[0]["phase"] == "gemm"
+    assert rows[0]["share_pct"] == pytest.approx(100.0)
+    assert 0.0 < rows[0]["utilization_pct"] <= 100.0
+    util = trace.utilization_by_phase()
+    assert 0.0 < util["gemm"] <= 1.0
+
+
+def test_repeated_phases_accumulate(core):
+    trace = ExecutionTrace(core)
+    for _ in range(3):
+        with trace.phase("tick"):
+            core.tick(4)
+    assert trace.cycles_by_phase()["tick"] == 12
+    assert len(trace.phases("tick")) == 3
+
+
+def test_phase_name_validation_and_reset(core):
+    trace = ExecutionTrace(core)
+    with pytest.raises(ValueError):
+        with trace.phase(""):
+            pass
+    with trace.phase("x"):
+        core.tick(1)
+    trace.reset()
+    assert trace.events == []
+    assert trace.total_cycles == 0
