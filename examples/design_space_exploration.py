@@ -6,6 +6,10 @@ store, then size the number of cores, the on-chip memory and the off-chip
 bandwidth of the chip, and finally compare the resulting design against
 published CPUs and GPUs.
 
+The chip-level sweeps run through the :mod:`repro.engine` sweep engine, so
+they can fan out over worker processes (``--mode process``) and reuse
+previous results from an on-disk cache (``--cache-dir .sweep-cache``).
+
 Run with:  python examples/design_space_exploration.py [--target-gflops 600]
 """
 
@@ -14,10 +18,11 @@ from __future__ import annotations
 import argparse
 
 from repro.arch.database import chip_level_specs
-from repro.arch.lap_design import build_lap, build_pe, find_sweet_spot_frequency
+from repro.arch.lap_design import build_pe, find_sweet_spot_frequency
+from repro.engine import (SweepSpec, best_per_metric, pareto_frontier, sweep,
+                          usable_cache_dir)
 from repro.experiments.report import render_table
 from repro.hw.fpu import Precision
-from repro.models.chip_model import ChipGEMMModel
 from repro.models.core_model import CoreGEMMModel
 
 
@@ -33,31 +38,48 @@ def explore_core(frequency: float) -> dict:
             "pe_power_mw": round(1e3 * pe.total_power_w, 1)}
 
 
-def explore_chip(target_gflops: float, frequency: float) -> list:
+def explore_chip(target_gflops: float, frequency: float, mode: str,
+                 cache_dir: str) -> list:
     """Sweep core counts and off-chip bandwidths to hit the target throughput."""
-    rows = []
-    for num_cores in (4, 8, 12, 16, 24, 32):
-        chip = ChipGEMMModel(num_cores=num_cores, nr=4)
-        for offchip_bytes_per_cycle in (8, 16, 24, 32):
-            res = chip.cycles_offchip(n=2048, offchip_bandwidth_words_per_cycle=
-                                      offchip_bytes_per_cycle / 8.0)
-            achieved = res.gflops(frequency)
-            rows.append({
-                "cores": num_cores,
-                "offchip_B_per_cycle": offchip_bytes_per_cycle,
-                "onchip_MB": round(res.onchip_memory_mbytes(), 1),
-                "utilization_pct": round(100 * res.utilization, 1),
-                "gflops": round(achieved, 1),
-                "meets_target": achieved >= target_gflops,
-            })
-    return rows
+    spec = (SweepSpec()
+            .constants(nr=4, n=2048, frequency_ghz=frequency)
+            .grid(num_cores=(4, 8, 12, 16, 24, 32),
+                  offchip_bw_bytes_per_cycle=(8, 16, 24, 32)))
+    result = sweep(spec.jobs("chip_gemm"), mode=mode, cache_dir=cache_dir)
+    print(f"   engine: {result.summary()}")
+    return [{
+        "cores": row["num_cores"],
+        "offchip_B_per_cycle": int(row["offchip_bw_bytes_per_cycle"]),
+        "onchip_MB": round(row["onchip_memory_mbytes"], 1),
+        "utilization_pct": round(row["utilization_pct"], 1),
+        "gflops": round(row["gflops"], 1),
+        "meets_target": row["gflops"] >= target_gflops,
+    } for row in result.rows]
+
+
+def evaluate_designs(rows: list, frequency: float, local_store_kbytes: float,
+                     mode: str, cache_dir: str) -> list:
+    """Evaluate area/power/efficiency of every feasible chip configuration."""
+    spec = (SweepSpec()
+            .constants(nr=4, precision="double", frequency_ghz=frequency,
+                       local_store_kbytes=local_store_kbytes)
+            .zip(cores=[r["cores"] for r in rows],
+                 onchip_mbytes=[max(0.5, r["onchip_MB"]) for r in rows],
+                 utilization=[r["utilization_pct"] / 100.0 for r in rows]))
+    result = sweep(spec.jobs("design"), mode=mode, cache_dir=cache_dir)
+    return result.rows
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--target-gflops", type=float, default=600.0,
                         help="target double-precision GEMM throughput")
+    parser.add_argument("--mode", choices=["auto", "serial", "thread", "process"],
+                        default="auto", help="sweep engine execution backend")
+    parser.add_argument("--cache-dir", default=None,
+                        help="reuse sweep results from this directory")
     args = parser.parse_args()
+    args.cache_dir = usable_cache_dir(args.cache_dir)
 
     sweet = find_sweet_spot_frequency(Precision.DOUBLE)
     print(f"1. PE sweet-spot frequency: {sweet:.2f} GHz")
@@ -66,7 +88,7 @@ def main() -> None:
     print()
 
     print(f"3. Chip-level sweep toward {args.target_gflops:.0f} DP GFLOPS:")
-    rows = explore_chip(args.target_gflops, sweet)
+    rows = explore_chip(args.target_gflops, sweet, args.mode, args.cache_dir)
     feasible = [r for r in rows if r["meets_target"]]
     print(render_table(rows, max_rows=16))
     print()
@@ -77,17 +99,27 @@ def main() -> None:
     print(f"   smallest feasible configuration: {best}")
     print()
 
-    design = build_lap(num_cores=best["cores"], precision=Precision.DOUBLE,
-                       frequency_ghz=sweet,
-                       local_store_kbytes=core_choice["local_store_kbytes"],
-                       onchip_memory_mbytes=best["onchip_MB"])
-    eff = design.efficiency(utilization=best["utilization_pct"] / 100.0)
+    designs = evaluate_designs(feasible, sweet, core_choice["local_store_kbytes"],
+                               args.mode, args.cache_dir)
+    chosen = next(d for d in designs if d["cores"] == best["cores"])
     print("4. Resulting LAP design point:")
-    print(f"   area        : {design.area_mm2:8.1f} mm^2")
-    print(f"   power       : {design.power_w():8.1f} W")
-    print(f"   throughput  : {eff.gflops:8.1f} GFLOPS")
-    print(f"   efficiency  : {eff.gflops_per_watt:8.1f} GFLOPS/W, "
-          f"{eff.gflops_per_mm2:.1f} GFLOPS/mm^2")
+    print(f"   area        : {chosen['area_mm2']:8.1f} mm^2")
+    print(f"   power       : {chosen['power_w']:8.1f} W")
+    print(f"   throughput  : {chosen['gflops']:8.1f} GFLOPS")
+    print(f"   efficiency  : {chosen['gflops_per_w']:8.1f} GFLOPS/W, "
+          f"{chosen['gflops_per_mm2']:.1f} GFLOPS/mm^2")
+    print()
+
+    frontier = pareto_frontier(designs)
+    print(f"   Pareto frontier of the {len(designs)} feasible designs "
+          f"(GFLOPS, GFLOPS/W, GFLOPS/mm^2): {len(frontier)} points")
+    print(render_table(frontier,
+                       columns=["cores", "onchip_mbytes", "area_mm2", "power_w",
+                                "gflops", "gflops_per_w", "gflops_per_mm2"]))
+    winners = best_per_metric(designs)
+    for metric, row in winners.items():
+        print(f"   best {metric:<15s}: cores={row['cores']}, "
+              f"{row[metric]:.1f}")
     print()
 
     print("5. Published chips running DGEMM (45 nm scaled), for comparison:")

@@ -1,11 +1,36 @@
-"""Setuptools shim for environments without the 'wheel' package.
+"""Setuptools configuration for the LAP codesign reproduction.
 
-The canonical build configuration lives in pyproject.toml; this file only
-enables legacy editable installs (`pip install -e . --no-use-pep517` or
-`python setup.py develop`) on machines where PEP 660 editable wheels cannot
-be built because the `wheel` package is unavailable.
+Installs the ``repro`` package from ``src/`` and exposes the command-line
+interface as a ``repro`` console script (equivalent to
+``python -m repro.cli``).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    text = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if not match:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-lap",
+    version=_version(),
+    description=("Reproduction of the Linear Algebra Processor (LAP) "
+                 "algorithm/architecture codesign study"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.8",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

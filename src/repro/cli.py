@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Provides three sub-commands:
+Provides four sub-commands:
 
 ``experiments``
     list or regenerate the tables/figures of the evaluation
@@ -12,23 +12,49 @@ Provides three sub-commands:
 ``design``
     print the area/power/efficiency of a LAC or LAP design point
     (``python -m repro.cli design --cores 8 --frequency 1.0``).
+``sweep``
+    expand a declarative design-space sweep, run it through the parallel,
+    cached sweep engine and report the Pareto frontier
+    (``python -m repro.cli sweep --runner design --grid cores=4,8,16
+    --grid nr=2,4,8``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.arch.lap_design import build_lap
+from repro.engine import (KNOWN_PARAMS, PARETO_OBJECTIVES, SweepSpec,
+                          frontier_report, runner_names, sweep, usable_cache_dir)
+from repro.experiments.export import write_json
 from repro.experiments.registry import REGISTRY, run_experiment
-from repro.experiments.report import render_table, summarize_experiment
+from repro.experiments.report import (format_value, render_table,
+                                      summarize_experiment)
 from repro.hw.fpu import Precision
-from repro.kernels import (lac_cholesky, lac_fft, lac_gemm, lac_lu_panel, lac_syrk,
-                           lac_trsm)
+from repro.kernels.dispatch import (check_size, fft_point_count, kernel_names,
+                                    simulate_kernel)
 from repro.lac import LACConfig, LinearAlgebraCore
+
+#: Default on-disk cache location of the ``sweep`` sub-command; override
+#: with ``--cache-dir``, ``REPRO_CACHE_DIR`` or disable with ``--no-cache``.
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", "~/.cache/repro-sweep")
+
+
+def _emit_json(payload: object, path: str) -> int:
+    """Write a ``--json`` payload, reporting write failures cleanly."""
+    try:
+        written = write_json(payload, path)
+    except OSError as exc:
+        print(f"cannot write JSON to '{path}': {exc}", file=sys.stderr)
+        return 2
+    if written is not None:
+        print(f"wrote {written}")
+    return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -43,6 +69,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
+    if args.json:
+        results = {exp_id: run_experiment(exp_id) for exp_id in args.ids}
+        return _emit_json({"experiments": results}, args.json)
     for exp_id in args.ids:
         print(summarize_experiment(exp_id, run_experiment(exp_id), max_rows=args.max_rows))
         print()
@@ -53,28 +82,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     core = LinearAlgebraCore(LACConfig(nr=args.nr, frequency_ghz=args.frequency))
     n = args.size
-    if n % args.nr:
-        print(f"size must be a multiple of nr={args.nr}", file=sys.stderr)
+    try:
+        check_size(args.kernel, n, args.nr)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
+    if args.kernel == "fft":
+        points = fft_point_count(n)
+        print(f"note: fft simulates a {points}-point radix-4 transform "
+              f"(rounded from --size {n} = {n * n} elements)")
 
-    if args.kernel == "gemm":
-        result = lac_gemm(core, rng.random((n, n)), rng.random((n, n)), rng.random((n, n)))
-    elif args.kernel == "syrk":
-        result = lac_syrk(core, rng.random((n, n)), rng.random((n, n)))
-    elif args.kernel == "trsm":
-        l = np.tril(rng.random((n, n))) + n * np.eye(n)
-        result = lac_trsm(core, l, rng.random((n, n)))
-    elif args.kernel == "cholesky":
-        m = rng.random((n, n))
-        result = lac_cholesky(core, m @ m.T + n * np.eye(n))
-    elif args.kernel == "lu":
-        result = lac_lu_panel(core, rng.random((max(n, args.nr), args.nr)))
-    elif args.kernel == "fft":
-        points = 4 ** max(1, int(round(np.log(max(n, 4) ** 2) / np.log(4))))
-        x = rng.standard_normal(points) + 1j * rng.standard_normal(points)
-        result = lac_fft(core, x)
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(args.kernel)
+    result = simulate_kernel(core, args.kernel, n, rng)
 
     print(f"kernel        : {result.name}")
     print(f"cycles        : {result.cycles}")
@@ -105,7 +123,146 @@ def _cmd_design(args: argparse.Namespace) -> int:
         "gflops_per_w": round(eff.gflops_per_watt, 1),
         "gflops_per_mm2": round(eff.gflops_per_mm2, 2),
     }]
+    if args.json:
+        return _emit_json({"design": rows[0]}, args.json)
     print(render_table(rows))
+    return 0
+
+
+# ------------------------------------------------------------------- sweep
+def _parse_scalar(token: str):
+    """CLI axis value: int if possible, else float, bool or bare string."""
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for convert in (int, float):
+        try:
+            return convert(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _parse_axis(option: str, text: str) -> Dict[str, list]:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"{option} expects NAME=V1,V2,... (got '{text}')")
+    name, _, values = text.partition("=")
+    name = name.strip()
+    tokens = [t for t in values.split(",") if t.strip() != ""]
+    if not name or not tokens:
+        raise argparse.ArgumentTypeError(
+            f"{option} expects NAME=V1,V2,... (got '{text}')")
+    return {name: [_parse_scalar(t.strip()) for t in tokens]}
+
+
+def _build_spec(args: argparse.Namespace) -> SweepSpec:
+    spec = SweepSpec()
+    constants = {}
+    for text in args.set or []:
+        axis = _parse_axis("--set", text)
+        ((name, values),) = axis.items()
+        if len(values) != 1:
+            raise argparse.ArgumentTypeError(f"--set {name} takes exactly one value")
+        if name in constants:
+            raise argparse.ArgumentTypeError(f"sweep axis '{name}' is already defined")
+        constants[name] = values[0]
+    if constants:
+        spec = spec.constants(**constants)
+    for text in args.grid or []:
+        spec = spec.grid(**_parse_axis("--grid", text))
+    zip_axes: Dict[str, list] = {}
+    for text in args.zip or []:
+        axis = _parse_axis("--zip", text)
+        ((name, values),) = axis.items()
+        if name in zip_axes:
+            raise argparse.ArgumentTypeError(f"sweep axis '{name}' is already defined")
+        zip_axes[name] = values
+    if zip_axes:
+        spec = spec.zip(**zip_axes)
+    return spec
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if not (args.grid or args.zip or args.set):
+        print("the sweep expands to no jobs; add --grid/--zip/--set axes",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = _build_spec(args)
+    except (argparse.ArgumentTypeError, TypeError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    jobs = spec.jobs(args.runner)
+    if not jobs:
+        print("the sweep's filters prune every point", file=sys.stderr)
+        return 2
+    known = KNOWN_PARAMS.get(args.runner)
+    if known:
+        unknown = sorted(set(jobs[0].params_dict) - known)
+        if unknown:
+            print(f"warning: runner '{args.runner}' ignores parameter(s) "
+                  f"{', '.join(unknown)}; it understands: {', '.join(sorted(known))}",
+                  file=sys.stderr)
+
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int) -> None:
+            print(f"\r{done}/{total} jobs", end="", file=sys.stderr, flush=True)
+
+    cache_dir = usable_cache_dir(None if args.no_cache else args.cache_dir)
+    try:
+        result = sweep(jobs, mode=args.mode, max_workers=args.workers,
+                       batch_size=args.batch_size, cache_dir=cache_dir,
+                       progress=progress)
+    except (KeyError, ValueError, OverflowError, OSError) as exc:
+        if args.progress:
+            print(file=sys.stderr)
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    if args.progress:
+        print(file=sys.stderr)
+
+    objectives = ([o.strip() for o in args.objectives.split(",") if o.strip()]
+                  if args.objectives else list(PARETO_OBJECTIVES.get(args.runner, ())))
+    try:
+        report = (frontier_report(result.rows, objectives) if objectives
+                  else {"objectives": [], "minimize": [], "num_rows": len(result.rows),
+                        "frontier": [], "best": {}})
+    except (KeyError, TypeError, ValueError, OverflowError) as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        payload = {
+            "runner": args.runner,
+            "jobs": result.total,
+            "executed": result.executed,
+            "cached": result.cached,
+            "mode": result.mode,
+            "elapsed_s": result.elapsed_s,
+            "rows": result.rows,
+            **report,
+        }
+        return _emit_json(payload, args.json)
+
+    print(f"sweep[{args.runner}] {result.summary()}")
+    print()
+    if not objectives:
+        print(render_table(result.rows, max_rows=args.max_rows))
+        return 0
+    frontier = report["frontier"]
+    print(f"Pareto frontier ({', '.join(objectives)}): "
+          f"{len(frontier)} of {len(result.rows)} points")
+    print(render_table(frontier, max_rows=args.max_rows))
+    print()
+    print("best per metric:")
+    axes = list(jobs[0].params_dict)
+    for metric, row in report["best"].items():
+        value = row[metric]
+        params = ", ".join(f"{k}={format_value(row[k])}" for k in axes
+                           if k in row and k != metric)
+        print(f"  {metric:<16s} {value:10.2f}  ({params})")
     return 0
 
 
@@ -117,10 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default: list all)")
     p_exp.add_argument("--list", action="store_true", help="only list the registry")
     p_exp.add_argument("--max-rows", type=int, default=12)
+    p_exp.add_argument("--json", metavar="PATH",
+                       help="write results as JSON to PATH ('-' for stdout)")
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_sim = sub.add_parser("simulate", help="run a kernel on the LAC simulator")
-    p_sim.add_argument("kernel", choices=["gemm", "syrk", "trsm", "cholesky", "lu", "fft"])
+    p_sim.add_argument("kernel", choices=kernel_names())
     p_sim.add_argument("--size", type=int, default=16, help="problem dimension")
     p_sim.add_argument("--nr", type=int, default=4, help="core dimension")
     p_sim.add_argument("--frequency", type=float, default=1.0, help="clock in GHz")
@@ -135,7 +294,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_des.add_argument("--local-store-kbytes", type=float, default=16.0)
     p_des.add_argument("--onchip-mbytes", type=float, default=4.0)
     p_des.add_argument("--utilization", type=float, default=0.9)
+    p_des.add_argument("--json", metavar="PATH",
+                       help="write the design point as JSON to PATH ('-' for stdout)")
     p_des.set_defaults(func=_cmd_design)
+
+    p_swp = sub.add_parser("sweep", help="run a design-space sweep through the engine")
+    p_swp.add_argument("--runner", choices=runner_names(), default="design",
+                       help="which evaluation each job runs (default: design)")
+    p_swp.add_argument("--grid", action="append", metavar="NAME=V1,V2,...",
+                       help="axis crossed with every other axis (repeatable)")
+    p_swp.add_argument("--zip", action="append", metavar="NAME=V1,V2,...",
+                       help="axes that vary together (repeatable, equal lengths)")
+    p_swp.add_argument("--set", action="append", metavar="NAME=VALUE",
+                       help="constant parameter applied to every job (repeatable)")
+    p_swp.add_argument("--mode", choices=["auto", "serial", "thread", "process"],
+                       default="auto", help="execution backend (default: auto)")
+    p_swp.add_argument("--workers", type=int, default=None, help="pool size")
+    p_swp.add_argument("--batch-size", type=int, default=None, help="jobs per shard")
+    p_swp.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
+    p_swp.add_argument("--no-cache", action="store_true",
+                       help="run every job even if cached results exist")
+    p_swp.add_argument("--objectives", metavar="A,B,...",
+                       help="Pareto objectives (default depends on the runner)")
+    p_swp.add_argument("--max-rows", type=int, default=16)
+    p_swp.add_argument("--progress", action="store_true",
+                       help="print job progress to stderr")
+    p_swp.add_argument("--json", metavar="PATH",
+                       help="write rows + frontier as JSON to PATH ('-' for stdout)")
+    p_swp.set_defaults(func=_cmd_sweep)
     return parser
 
 
@@ -143,7 +330,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that exited early (e.g. `head`);
+        # silence the traceback and exit like a well-behaved filter.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,94 @@
+"""Pareto-frontier extraction and best-per-metric selection over sweep rows.
+
+The sweep engine produces lists of flat result rows (dicts of scalars);
+this module answers the co-design study's core question: which design
+points are *not dominated* on the efficiency axes the paper compares
+(GFLOPS, GFLOPS/W, GFLOPS/mm^2), and which single point wins each metric.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Dict, List, Mapping, Sequence, Tuple
+
+#: The three headline metrics of the study's frontier comparisons.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = ("gflops", "gflops_per_w", "gflops_per_mm2")
+
+Row = Mapping[str, object]
+
+
+def _objective_value(row: Row, objective: str) -> float:
+    try:
+        value = row[objective]
+    except KeyError:
+        raise KeyError(f"row is missing objective '{objective}'; "
+                       f"available columns: {sorted(row)}") from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"objective '{objective}' must be numeric, got {value!r}")
+    return float(value)
+
+
+def _oriented(row: Row, objectives: Sequence[str], minimize: Collection[str]) -> List[float]:
+    """Objective vector with minimised axes negated, so bigger is better."""
+    return [-_objective_value(row, o) if o in minimize else _objective_value(row, o)
+            for o in objectives]
+
+
+def dominates(a: Row, b: Row, objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+              minimize: Collection[str] = ()) -> bool:
+    """True when ``a`` is at least as good as ``b`` on every objective and
+    strictly better on at least one."""
+    va = _oriented(a, objectives, minimize)
+    vb = _oriented(b, objectives, minimize)
+    return all(x >= y for x, y in zip(va, vb)) and any(x > y for x, y in zip(va, vb))
+
+
+def pareto_frontier(rows: Sequence[Row], objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                    minimize: Collection[str] = ()) -> List[Row]:
+    """The non-dominated subset of ``rows``, preserving input order.
+
+    Duplicate objective vectors all survive (none strictly dominates the
+    other), which keeps equally-good design alternatives visible.
+    """
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    vectors = [_oriented(row, objectives, minimize) for row in rows]
+    frontier: List[Row] = []
+    for i, vec in enumerate(vectors):
+        dominated = False
+        for j, other in enumerate(vectors):
+            if j == i:
+                continue
+            if (all(x >= y for x, y in zip(other, vec))
+                    and any(x > y for x, y in zip(other, vec))):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(rows[i])
+    return frontier
+
+
+def best_per_metric(rows: Sequence[Row], metrics: Sequence[str] = DEFAULT_OBJECTIVES,
+                    minimize: Collection[str] = ()) -> Dict[str, Row]:
+    """The winning row for each metric (first wins ties, so results are
+    deterministic for a deterministically-ordered sweep)."""
+    if not rows:
+        return {}
+    winners: Dict[str, Row] = {}
+    for metric in metrics:
+        sense = -1.0 if metric in minimize else 1.0
+        winners[metric] = max(rows, key=lambda row: sense * _objective_value(row, metric))
+    return winners
+
+
+def frontier_report(rows: Sequence[Row], objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                    minimize: Collection[str] = ()) -> Dict[str, object]:
+    """Frontier plus per-metric winners, packaged for rendering / export."""
+    frontier = pareto_frontier(rows, objectives, minimize)
+    return {
+        "objectives": list(objectives),
+        "minimize": sorted(minimize),
+        "num_rows": len(rows),
+        "frontier": [dict(row) for row in frontier],
+        "best": {metric: dict(row)
+                 for metric, row in best_per_metric(rows, objectives, minimize).items()},
+    }

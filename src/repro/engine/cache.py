@@ -1,0 +1,156 @@
+"""Content-addressed on-disk cache for sweep results.
+
+Every cache entry is keyed by a stable hash of the job's runner name, its
+canonicalised parameters and a *code version* string, so that re-running a
+sweep only executes the jobs whose results are not on disk yet, while any
+bump of the package (or runner) version transparently invalidates stale
+entries.  Entries are small JSON files laid out in two-level fan-out
+directories (``ab/abcdef....json``) to keep directories shallow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+from repro.engine.spec import Job, params_key
+
+PathLike = Union[str, pathlib.Path]
+
+
+def usable_cache_dir(cache_dir: Optional[PathLike],
+                     label: str = "cache directory") -> Optional[str]:
+    """Validate a cache directory, degrading to ``None`` with a warning.
+
+    Creates the directory if needed; when that fails (path is a file,
+    read-only filesystem, ...), prints a warning to stderr and returns
+    ``None`` so callers can run uncached instead of crashing.
+    """
+    if cache_dir is None:
+        return None
+    import sys
+
+    path = pathlib.Path(cache_dir).expanduser()
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        print(f"warning: {label} unusable ({exc}); running without cache",
+              file=sys.stderr)
+        return None
+    return str(path)
+
+
+def default_code_version() -> str:
+    """Default cache namespace: the package plus runner versions.
+
+    Bumping ``repro.__version__`` or any entry of
+    :data:`repro.engine.runners.RUNNER_VERSIONS` invalidates every cache
+    entry produced under the old version, so stale rows are never returned
+    after runner code changes — including for callers that construct
+    :class:`ResultCache` directly without passing ``code_version``.
+    """
+    from repro.engine.runners import code_fingerprint
+
+    return code_fingerprint()
+
+
+class ResultCache:
+    """Content-addressed store of one JSON row per executed job."""
+
+    def __init__(self, directory: PathLike, code_version: Optional[str] = None) -> None:
+        self.directory = pathlib.Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.code_version = code_version if code_version is not None else default_code_version()
+        self.hits = 0
+        self.misses = 0
+
+    # ---------------------------------------------------------------- keys
+    def key_for(self, job: Job) -> str:
+        """Stable cache key of a job under the current code version."""
+        return params_key(job.runner, job.params_dict, salt=self.code_version)
+
+    def path_for(self, job: Job) -> pathlib.Path:
+        key = self.key_for(job)
+        return self.directory / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------- storage
+    def get(self, job: Job) -> Optional[dict]:
+        """The cached result row for ``job``, or ``None`` on a miss."""
+        path = self.path_for(job)
+        try:
+            with path.open("r") as handle:
+                payload = json.load(handle)
+            row = payload["row"]
+            if not isinstance(row, dict):
+                raise TypeError("cache row must be a dict")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError):
+            # A truncated, corrupt or foreign-format entry counts as a miss
+            # and is dropped so the next put() can rewrite it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row
+
+    def put(self, job: Job, row: Mapping) -> pathlib.Path:
+        """Store the result row of an executed job (atomic write)."""
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "runner": job.runner,
+            "params": job.params_dict,
+            "code_version": self.code_version,
+            "row": dict(row),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, default=str)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, job: Job) -> bool:
+        return self.path_for(job).is_file()
+
+    # ---------------------------------------------------------- management
+    def _entry_paths(self) -> Iterator[pathlib.Path]:
+        return self.directory.glob("??/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def clear(self) -> int:
+        """Remove every entry (all code versions); returns the count removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss counters of this cache instance plus the on-disk size."""
+        return {
+            "directory": str(self.directory),
+            "code_version": self.code_version,
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self),
+        }

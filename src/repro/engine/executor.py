@@ -1,0 +1,246 @@
+"""Sharded job executor with caching, fan-out and deterministic ordering.
+
+The executor takes a list of :class:`~repro.engine.spec.Job` objects,
+resolves as many as possible from the result cache, groups the remaining
+jobs into shards (batches) and fans the shards out over a
+``concurrent.futures`` pool: a *process* pool for heavy simulator jobs, a
+*thread* pool or plain serial execution otherwise.  Results are always
+returned in job order, so serial and parallel sweeps are byte-identical.
+
+Workers receive only (runner name, parameter dicts); the runner function is
+re-resolved inside the worker from :mod:`repro.engine.runners`, which keeps
+shards trivially picklable.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import ResultCache
+from repro.engine.spec import Job, Params
+
+ProgressCallback = Callable[[int, int], None]
+
+MODES = ("auto", "serial", "thread", "process")
+
+
+def _run_shard(runner_name: str, params_list: List[Params]) -> List[dict]:
+    """Execute one shard of same-runner jobs (also the process-pool target)."""
+    from repro.engine.runners import get_runner
+
+    runner = get_runner(runner_name)
+    return [runner(params) for params in params_list]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one executor run.
+
+    ``rows`` is aligned with ``jobs``: ``rows[i]`` is the result of
+    ``jobs[i]`` regardless of cache state or completion order.
+    """
+
+    jobs: List[Job]
+    rows: List[dict]
+    executed: int
+    cached: int
+    mode: str
+    elapsed_s: float
+
+    @property
+    def total(self) -> int:
+        return len(self.jobs)
+
+    def summary(self) -> str:
+        return (f"{self.total} jobs: {self.executed} executed, "
+                f"{self.cached} cached [{self.mode}, {self.elapsed_s:.2f}s]")
+
+
+class SweepExecutor:
+    """Runs sweep jobs through an optional cache and a worker pool.
+
+    Parameters
+    ----------
+    mode:
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``.  Auto picks
+        a process pool for heavy runners (cycle-level simulations) with
+        enough pending jobs, and serial execution for the cheap analytical
+        models where pool overhead dominates.
+    max_workers:
+        Pool size (default: ``os.cpu_count()`` capped at 8).
+    batch_size:
+        Jobs per shard; by default sized so each worker receives ~4 shards,
+        which bounds pool chatter while keeping the pool busy.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely and
+        fresh results are written back after each shard completes.
+    progress:
+        Optional callback invoked as ``progress(done, total)`` after the
+        cache scan and after every completed shard.
+    """
+
+    def __init__(self, mode: str = "auto", max_workers: Optional[int] = None,
+                 batch_size: Optional[int] = None, cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressCallback] = None) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got '{mode}'")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.mode = mode
+        self.max_workers = max_workers
+        self.batch_size = batch_size
+        self.cache = cache
+        self.progress = progress
+
+    # ------------------------------------------------------------ internals
+    def _resolve_workers(self) -> int:
+        if self.max_workers is not None:
+            return self.max_workers
+        import os
+
+        return max(1, min(os.cpu_count() or 1, 8))
+
+    def _resolve_mode(self, pending: Sequence[Tuple[int, Job]], workers: int) -> str:
+        if self.mode != "auto":
+            return self.mode
+        if not pending:
+            return "serial"
+        from repro.engine.runners import HEAVY_RUNNERS
+
+        heavy = any(job.runner in HEAVY_RUNNERS for _, job in pending)
+        if heavy and len(pending) > 1 and workers > 1:
+            return "process"
+        return "serial"
+
+    def _shards(self, pending: Sequence[Tuple[int, Job]],
+                workers: int) -> List[List[Tuple[int, Job]]]:
+        """Split pending jobs into same-runner shards, preserving order."""
+        if not pending:
+            return []
+        size = self.batch_size
+        if size is None:
+            size = max(1, math.ceil(len(pending) / (workers * 4)))
+        shards: List[List[Tuple[int, Job]]] = []
+        current: List[Tuple[int, Job]] = []
+        for item in pending:
+            if current and (len(current) >= size or current[0][1].runner != item[1].runner):
+                shards.append(current)
+                current = []
+            current.append(item)
+        if current:
+            shards.append(current)
+        return shards
+
+    def _report(self, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total)
+
+    # ------------------------------------------------------------------ run
+    def run(self, jobs: Sequence[Job]) -> SweepResult:
+        """Execute all jobs, resolving cache hits first."""
+        jobs = list(jobs)
+        started = time.perf_counter()
+        rows: List[Optional[dict]] = [None] * len(jobs)
+        cached = 0
+        if self.cache is not None:
+            for index, job in enumerate(jobs):
+                hit = self.cache.get(job)
+                if hit is not None:
+                    rows[index] = hit
+                    cached += 1
+        pending = [(i, job) for i, job in enumerate(jobs) if rows[i] is None]
+        self._report(cached, len(jobs))
+
+        workers = self._resolve_workers()
+        mode = self._resolve_mode(pending, workers)
+        shards = self._shards(pending, workers)
+
+        if mode == "serial" or not shards:
+            # An explicitly requested pool mode is honoured even for a
+            # single shard (worker isolation may be the point); only "serial"
+            # and empty runs execute in-process.
+            mode = "serial"
+            done = cached
+            for shard in shards:
+                self._finish_shard(shard, _run_shard(shard[0][1].runner,
+                                                     [j.params_dict for _, j in shard]), rows)
+                done += len(shard)
+                self._report(done, len(jobs))
+        else:
+            mode = self._run_pool(mode, workers, shards, rows, cached, len(jobs))
+
+        executed = len(pending)
+        elapsed = time.perf_counter() - started
+        return SweepResult(jobs=jobs, rows=list(rows), executed=executed,
+                           cached=cached, mode=mode, elapsed_s=elapsed)
+
+    def _run_pool(self, mode: str, workers: int,
+                  shards: List[List[Tuple[int, Job]]], rows: List[Optional[dict]],
+                  cached: int, total: int) -> str:
+        pool_cls = (concurrent.futures.ProcessPoolExecutor if mode == "process"
+                    else concurrent.futures.ThreadPoolExecutor)
+        try:
+            pool = pool_cls(max_workers=min(workers, len(shards)))
+        except (OSError, PermissionError, ImportError):
+            # Environments without working process spawning (restricted
+            # sandboxes) silently fall back to threads.
+            mode = "thread"
+            pool = concurrent.futures.ThreadPoolExecutor(max_workers=min(workers, len(shards)))
+        done = cached
+        try:
+            with pool:
+                futures = {
+                    pool.submit(_run_shard, shard[0][1].runner,
+                                [job.params_dict for _, job in shard]): shard
+                    for shard in shards
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    shard = futures[future]
+                    self._finish_shard(shard, future.result(), rows)
+                    done += len(shard)
+                    self._report(done, total)
+        except concurrent.futures.BrokenExecutor:
+            if mode != "process":
+                raise
+            # A broken process pool (e.g. fork disallowed) degrades to a
+            # serial re-run of every shard with any row still missing.
+            mode = "serial"
+            for shard in shards:
+                if any(rows[index] is None for index, _ in shard):
+                    self._finish_shard(shard, _run_shard(shard[0][1].runner,
+                                                         [j.params_dict for _, j in shard]), rows)
+            self._report(total, total)
+        return mode
+
+    def _finish_shard(self, shard: List[Tuple[int, Job]],
+                      shard_rows: List[dict], rows: List[Optional[dict]]) -> None:
+        for (index, job), row in zip(shard, shard_rows):
+            rows[index] = row
+            if self.cache is not None:
+                try:
+                    self.cache.put(job, row)
+                except OSError as exc:
+                    # A mid-run write failure (disk full, cache dir removed)
+                    # must not lose computed results: stop caching and finish.
+                    import sys
+
+                    print(f"warning: cache write failed ({exc}); "
+                          f"caching disabled for the rest of this run",
+                          file=sys.stderr)
+                    self.cache = None
+
+
+def execute_jobs(jobs: Sequence[Job], mode: str = "auto",
+                 max_workers: Optional[int] = None, batch_size: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressCallback] = None) -> SweepResult:
+    """One-shot convenience wrapper around :class:`SweepExecutor`."""
+    executor = SweepExecutor(mode=mode, max_workers=max_workers,
+                             batch_size=batch_size, cache=cache, progress=progress)
+    return executor.run(jobs)

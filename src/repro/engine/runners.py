@@ -1,0 +1,276 @@
+"""Adapters turning the repo's evaluation code paths into engine runners.
+
+A *runner* is a pure, picklable function ``params_dict -> row_dict``; the
+executor looks runners up by name so that jobs can be shipped to worker
+processes without serialising code.  Five adapters cover the three existing
+evaluation code paths plus the two analytical models the figures sweep:
+
+``design``
+    chip-level area/power/efficiency of a LAP design point (``build_lap``),
+``pe``
+    one processing element across frequency / precision / local store,
+``simulate``
+    a kernel run on the cycle-level LAC simulator with seeded operands,
+``chip_gemm``
+    the analytical multi-core GEMM model (cores x bandwidth x problem size),
+``core_gemm``
+    the analytical single-core GEMM model (local store x bandwidth),
+``experiment``
+    one :mod:`repro.experiments.registry` entry (cached artifact regeneration).
+
+Rows contain only JSON-serialisable scalars (except ``experiment``, whose
+``data`` field carries the experiment payload) so results cache cleanly and
+compare byte-identically across serial / thread / process execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.engine.analysis import DEFAULT_OBJECTIVES
+from repro.engine.spec import Params
+
+#: Bump a runner's version whenever its row content changes; the fingerprint
+#: below folds these into the cache namespace, invalidating stale entries.
+RUNNER_VERSIONS: Dict[str, int] = {
+    "design": 1,
+    "pe": 1,
+    "simulate": 1,
+    "chip_gemm": 1,
+    "core_gemm": 1,
+    "experiment": 1,
+}
+
+#: Runners that do enough work per job for a process pool to pay off; the
+#: analytical models run in microseconds and stay serial under mode="auto".
+HEAVY_RUNNERS = frozenset({"simulate", "experiment"})
+
+#: Parameters each runner understands; anything else in a job's params is
+#: silently unused, so the CLI warns when a sweep axis is not listed here.
+KNOWN_PARAMS: Dict[str, frozenset] = {
+    "design": frozenset({"cores", "nr", "precision", "frequency_ghz",
+                         "local_store_kbytes", "onchip_mbytes", "utilization"}),
+    "pe": frozenset({"precision", "frequency_ghz", "local_store_kbytes"}),
+    "simulate": frozenset({"kernel", "size", "nr", "frequency_ghz", "seed"}),
+    "chip_gemm": frozenset({"num_cores", "nr", "n", "offchip_bw_bytes_per_cycle",
+                            "frequency_ghz"}),
+    "core_gemm": frozenset({"nr", "n", "kc", "mc", "bandwidth_bytes_per_cycle"}),
+    "experiment": frozenset({"exp_id"}),
+}
+
+
+def _precision(params: Mapping) -> "Precision":
+    from repro.hw.fpu import Precision
+
+    name = str(params.get("precision", "double")).lower()
+    if name in ("single", "sp"):
+        return Precision.SINGLE
+    if name in ("double", "dp"):
+        return Precision.DOUBLE
+    raise ValueError(f"unknown precision '{name}' (use 'single' or 'double')")
+
+
+def run_design_point(params: Params) -> dict:
+    """Evaluate one LAP chip design point (area / power / efficiency)."""
+    from repro.arch.lap_design import build_lap
+
+    precision = _precision(params)
+    cores = int(params.get("cores", 8))
+    nr = int(params.get("nr", 4))
+    frequency = float(params.get("frequency_ghz", 1.0))
+    local_store = float(params.get("local_store_kbytes", 16.0))
+    onchip = float(params.get("onchip_mbytes", 4.0))
+    utilization = float(params.get("utilization", 0.9))
+    design = build_lap(num_cores=cores, nr=nr, precision=precision,
+                       frequency_ghz=frequency, local_store_kbytes=local_store,
+                       onchip_memory_mbytes=onchip)
+    eff = design.efficiency(utilization=utilization)
+    return {
+        "cores": cores,
+        "nr": nr,
+        "precision": precision.value,
+        "frequency_ghz": frequency,
+        "local_store_kbytes": local_store,
+        "onchip_mbytes": onchip,
+        "utilization": utilization,
+        "area_mm2": design.area_mm2,
+        "power_w": design.power_w(),
+        "peak_gflops": design.peak_gflops,
+        "gflops": eff.gflops,
+        "gflops_per_w": eff.gflops_per_watt,
+        "gflops_per_mm2": eff.gflops_per_mm2,
+    }
+
+
+def run_pe_point(params: Params) -> dict:
+    """Evaluate one processing-element design point."""
+    from repro.arch.lap_design import build_pe
+
+    precision = _precision(params)
+    frequency = float(params.get("frequency_ghz", 1.0))
+    local_store = float(params.get("local_store_kbytes", 16.0))
+    pe = build_pe(precision=precision, frequency_ghz=frequency,
+                  local_store_kbytes=local_store)
+    eff = pe.efficiency()
+    return {
+        "precision": precision.value,
+        "frequency_ghz": frequency,
+        "local_store_kbytes": local_store,
+        "pe_area_mm2": pe.area_mm2,
+        "store_area_mm2": pe.store_a.area_mm2 + pe.store_b.area_mm2,
+        "fpu_area_mm2": pe.fmac.area_mm2,
+        "memory_power_w": pe.memory_power_w,
+        "fmac_power_w": pe.fmac_power_w,
+        "pe_power_w": pe.total_power_w,
+        "peak_gflops": pe.peak_gflops,
+        "mm2_per_gflop": eff.mm2_per_gflop,
+        "mw_per_gflop": eff.mw_per_gflop,
+        "energy_delay": eff.energy_delay,
+        "gflops_per_w": eff.gflops_per_watt,
+        "gflops_per_mm2": eff.gflops_per_mm2,
+    }
+
+
+def run_kernel_simulation(params: Params) -> dict:
+    """Run one kernel on the cycle-level LAC simulator with seeded operands."""
+    import numpy as np
+
+    from repro.kernels.dispatch import check_size, get_kernel, simulate_kernel
+    from repro.lac import LACConfig, LinearAlgebraCore
+
+    kernel = str(params.get("kernel", "gemm"))
+    size = int(params.get("size", 16))
+    nr = int(params.get("nr", 4))
+    frequency = float(params.get("frequency_ghz", 1.0))
+    seed = int(params.get("seed", 0))
+    spec = get_kernel(kernel)
+    check_size(kernel, size, nr)
+    core = LinearAlgebraCore(LACConfig(nr=nr, frequency_ghz=frequency))
+    rng = np.random.default_rng(seed)
+    result = simulate_kernel(core, kernel, size, rng)
+    return {
+        "kernel": kernel,
+        "size": size,
+        "effective_size": spec.effective_size(size, nr),
+        "nr": nr,
+        "frequency_ghz": frequency,
+        "seed": seed,
+        "cycles": int(result.cycles),
+        "mac_ops": int(result.counters.mac_ops),
+        "flops": int(result.flops),
+        "utilization": float(result.utilization),
+        "gflops": float(result.gflops(frequency)),
+    }
+
+
+def run_chip_gemm(params: Params) -> dict:
+    """Evaluate the analytical multi-core GEMM model at one design point."""
+    from repro.models.chip_model import ChipGEMMModel
+
+    num_cores = int(params.get("num_cores", 8))
+    nr = int(params.get("nr", 4))
+    n = int(params.get("n", 2048))
+    bw_bytes = float(params.get("offchip_bw_bytes_per_cycle", 16.0))
+    frequency = float(params.get("frequency_ghz", 1.0))
+    model = ChipGEMMModel(num_cores=num_cores, nr=nr)
+    res = model.cycles_offchip(n, offchip_bandwidth_words_per_cycle=bw_bytes / 8.0)
+    return {
+        "num_cores": num_cores,
+        "nr": nr,
+        "n": n,
+        "offchip_bw_bytes_per_cycle": bw_bytes,
+        "frequency_ghz": frequency,
+        "onchip_memory_mbytes": res.onchip_memory_mbytes(),
+        "total_cycles": res.total_cycles,
+        "utilization": res.utilization,
+        "utilization_pct": 100.0 * res.utilization,
+        "gflops": res.gflops(frequency),
+    }
+
+
+def run_core_gemm(params: Params) -> dict:
+    """Evaluate the analytical single-core GEMM model at one design point."""
+    from repro.models.core_model import CoreGEMMModel
+
+    nr = int(params.get("nr", 4))
+    n = int(params.get("n", 512))
+    kc = int(params.get("kc", 128))
+    mc = int(params.get("mc", kc))
+    bw_bytes = float(params.get("bandwidth_bytes_per_cycle", 4.0))
+    model = CoreGEMMModel(nr=nr)
+    res = model.cycles(mc=mc, kc=kc, n=n,
+                       bandwidth_elements_per_cycle=max(bw_bytes / 8.0, 1e-3))
+    return {
+        "nr": nr,
+        "n": n,
+        "mc": mc,
+        "kc": kc,
+        "bandwidth_bytes_per_cycle": bw_bytes,
+        "local_store_kbytes_per_pe": res.local_store_bytes_per_pe / 1024.0,
+        "total_cycles": res.total_cycles,
+        "utilization": res.utilization,
+        "utilization_pct": 100.0 * res.utilization,
+    }
+
+
+def run_registry_experiment(params: Params) -> dict:
+    """Regenerate one registered experiment (table / figure data series)."""
+    # Imported lazily: the registry imports the figure generators, which in
+    # turn import this engine, so a module-level import would be circular.
+    from repro.experiments.registry import get_experiment
+
+    exp_id = str(params["exp_id"])
+    experiment = get_experiment(exp_id)
+    data = experiment.run()
+    num_rows = len(data) if isinstance(data, (Mapping, list, tuple)) else 1
+    return {
+        "exp_id": exp_id,
+        "kind": experiment.kind,
+        "source": experiment.source,
+        "num_rows": num_rows,
+        "data": data,
+    }
+
+
+RUNNERS: Dict[str, Callable[[Params], dict]] = {
+    "design": run_design_point,
+    "pe": run_pe_point,
+    "simulate": run_kernel_simulation,
+    "chip_gemm": run_chip_gemm,
+    "core_gemm": run_core_gemm,
+    "experiment": run_registry_experiment,
+}
+
+#: Default Pareto objectives per runner (used by the ``sweep`` CLI when the
+#: user does not pass ``--objectives``).
+PARETO_OBJECTIVES: Dict[str, Tuple[str, ...]] = {
+    "design": DEFAULT_OBJECTIVES,
+    "pe": ("gflops_per_w", "gflops_per_mm2"),
+    "simulate": ("gflops", "utilization"),
+    "chip_gemm": ("gflops", "utilization_pct"),
+    "core_gemm": ("utilization_pct",),
+    "experiment": (),
+}
+
+
+def runner_names() -> List[str]:
+    """Names accepted by ``Job.runner`` / the ``sweep`` CLI."""
+    return list(RUNNERS)
+
+
+def get_runner(name: str) -> Callable[[Params], dict]:
+    """Look up one runner by name."""
+    try:
+        return RUNNERS[name]
+    except KeyError:
+        raise KeyError(f"unknown runner '{name}'; known runners: "
+                       f"{sorted(RUNNERS)}") from None
+
+
+def code_fingerprint() -> str:
+    """Cache namespace combining the package and runner versions."""
+    from repro import __version__
+
+    versions = ",".join(f"{name}=v{RUNNER_VERSIONS[name]}"
+                        for name in sorted(RUNNER_VERSIONS))
+    return f"repro-{__version__};{versions}"

@@ -6,7 +6,8 @@ tools can pick the data up without importing the package.
 
 ``export_experiment`` writes one experiment; ``export_all`` writes every
 registered experiment into a directory with one file per experiment plus a
-manifest describing what was produced.
+manifest describing what was produced; ``write_json`` serialises one
+arbitrary payload to a file or stdout (the CLI's ``--json`` flag).
 """
 
 from __future__ import annotations
@@ -14,11 +15,30 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
+import sys
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.experiments.registry import REGISTRY, get_experiment
 
 PathLike = Union[str, pathlib.Path]
+
+
+def write_json(payload: object, path: PathLike) -> Optional[pathlib.Path]:
+    """Serialise ``payload`` as JSON to ``path``, or to stdout when ``-``.
+
+    Returns the written path, or ``None`` for stdout.  Non-JSON values
+    (enums, numpy scalars, ...) are stringified rather than rejected.
+    """
+    if str(path) == "-":
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        sys.stdout.write("\n")
+        return None
+    path = pathlib.Path(path)
+    if path.parent != pathlib.Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    return path
 
 
 def _rows_to_csv(rows: Sequence[Mapping[str, object]], path: pathlib.Path) -> None:

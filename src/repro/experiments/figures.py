@@ -4,16 +4,25 @@ Each function returns the data points a figure plots (as lists of dicts or
 dicts of series), without any plotting dependency; the benchmark harness
 prints the series and asserts the qualitative shape, and examples can feed
 them to matplotlib if available.
+
+The multi-point sweeps (core utilisation, PE frequency/local-store sweeps,
+chip performance vs off-chip bandwidth) expand through
+:mod:`repro.engine`, so regenerating the paper artifacts inherits the
+engine's batching, caching and parallelism: set ``REPRO_FIGURE_CACHE`` to a
+directory to make figure regeneration incremental, and
+``REPRO_FIGURE_MODE`` to ``thread``/``process`` to force a backend.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Sequence
 
 from repro.arch.breakdowns import (cpu_penryn_breakdown, efficiency_comparison,
                                    gpu_fermi_breakdown, gpu_tesla_breakdown, lap_breakdown)
 from repro.arch.hybrid import hybrid_design_comparison
-from repro.arch.lap_design import build_lap, build_pe, pe_frequency_sweep
+from repro.arch.lap_design import build_lap, build_pe
+from repro.engine import SweepSpec, sweep
 from repro.hw.fpu import Precision
 from repro.hw.memory import NUCACache, OnChipMemory
 from repro.hw.sfu import SFUPlacement, SpecialFunctionUnit
@@ -25,28 +34,44 @@ from repro.models.fact_model import (FactorizationKernel, FactorizationKernelMod
 from repro.models.fft_model import FFTCoreModel, FFTProblem, FFTVariant
 
 
+def _engine_kwargs() -> Dict:
+    """Execution options for the figure sweeps (overridable via env).
+
+    Invalid settings degrade with a warning rather than failing figure
+    regeneration: an unknown mode falls back to ``auto``, an unusable cache
+    directory disables caching.
+    """
+    import sys
+
+    from repro.engine import usable_cache_dir
+    from repro.engine.executor import MODES
+
+    mode = os.environ.get("REPRO_FIGURE_MODE", "auto")
+    if mode not in MODES:
+        print(f"warning: REPRO_FIGURE_MODE='{mode}' is not one of {MODES}; "
+              f"using 'auto'", file=sys.stderr)
+        mode = "auto"
+    cache_dir = usable_cache_dir(os.environ.get("REPRO_FIGURE_CACHE") or None,
+                                 label="REPRO_FIGURE_CACHE")
+    return {"mode": mode, "cache_dir": cache_dir}
+
+
 # ----------------------------------------------------------------- Fig. 3.4
 def fig_3_4_core_utilization_vs_local_store(n: int = 512) -> List[Dict]:
     """Core utilisation vs local store size for several on-chip bandwidths."""
-    rows: List[Dict] = []
-    kc_values = [16, 32, 48, 64, 96, 128, 192, 256, 320, 384, 448, 512]
-    for nr in (4, 8):
-        model = CoreGEMMModel(nr=nr)
-        for bw_bytes in (1, 2, 3, 4, 8):
-            bw_elements = bw_bytes / 8.0 * 8.0 / 8.0 * 8.0  # bytes -> elements of 8B? keep bytes/8
-            bw_elements = bw_bytes / 8.0
-            for kc in kc_values:
-                if kc > n:
-                    continue
-                res = model.cycles(mc=kc, kc=kc, n=n,
-                                   bandwidth_elements_per_cycle=max(bw_elements, 1e-3))
-                rows.append({
-                    "nr": nr,
-                    "bandwidth_bytes_per_cycle": bw_bytes,
-                    "local_store_kbytes_per_pe": res.local_store_bytes_per_pe / 1024.0,
-                    "utilization_pct": 100.0 * res.utilization,
-                })
-    return rows
+    spec = (SweepSpec()
+            .constants(n=n)
+            .grid(nr=(4, 8),
+                  bandwidth_bytes_per_cycle=(1, 2, 3, 4, 8),
+                  kc=(16, 32, 48, 64, 96, 128, 192, 256, 320, 384, 448, 512))
+            .filter(lambda p: p["kc"] <= p["n"]))
+    result = sweep(spec.jobs("core_gemm"), **_engine_kwargs())
+    return [{
+        "nr": row["nr"],
+        "bandwidth_bytes_per_cycle": int(row["bandwidth_bytes_per_cycle"]),
+        "local_store_kbytes_per_pe": row["local_store_kbytes_per_pe"],
+        "utilization_pct": row["utilization_pct"],
+    } for row in result.rows]
 
 
 # ----------------------------------------------------------------- Fig. 3.5
@@ -63,19 +88,19 @@ def fig_3_5_peak_bandwidth_vs_local_store(n: int = 512) -> List[Dict]:
 # ----------------------------------------------------------- Figs. 3.6/3.7
 def fig_3_6_pe_efficiency_vs_frequency(precision: Precision = Precision.DOUBLE) -> List[Dict]:
     """PE efficiency metrics (mm^2/GFLOP, mW/GFLOP, energy-delay) vs frequency."""
-    rows = []
-    for pe in pe_frequency_sweep(precision, [0.2, 0.33, 0.5, 0.75, 0.95, 1.0, 1.2,
-                                             1.4, 1.6, 1.81, 2.08]):
-        eff = pe.efficiency()
-        rows.append({
-            "frequency_ghz": pe.frequency_ghz,
-            "mm2_per_gflop": eff.mm2_per_gflop,
-            "mw_per_gflop": eff.mw_per_gflop,
-            "energy_delay": eff.energy_delay,
-            "gflops_per_w": eff.gflops_per_watt,
-            "gflops_per_mm2": eff.gflops_per_mm2,
-        })
-    return rows
+    spec = (SweepSpec()
+            .constants(precision=precision.value, local_store_kbytes=16.0)
+            .grid(frequency_ghz=(0.2, 0.33, 0.5, 0.75, 0.95, 1.0, 1.2,
+                                 1.4, 1.6, 1.81, 2.08)))
+    result = sweep(spec.jobs("pe"), **_engine_kwargs())
+    return [{
+        "frequency_ghz": row["frequency_ghz"],
+        "mm2_per_gflop": row["mm2_per_gflop"],
+        "mw_per_gflop": row["mw_per_gflop"],
+        "energy_delay": row["energy_delay"],
+        "gflops_per_w": row["gflops_per_w"],
+        "gflops_per_mm2": row["gflops_per_mm2"],
+    } for row in result.rows]
 
 
 # ----------------------------------------------------------------- Fig. 4.2
@@ -152,43 +177,40 @@ def fig_4_5_offchip_bw_vs_onchip_memory() -> List[Dict]:
 # ----------------------------------------------------------------- Fig. 4.6
 def fig_4_6_performance_vs_offchip_bw(frequency_ghz: float = 1.4) -> List[Dict]:
     """LAP GFLOPS vs off-chip bandwidth and on-chip memory size."""
-    rows: List[Dict] = []
-    for num_cores in (4, 8, 16):
-        model = ChipGEMMModel(num_cores=num_cores, nr=4)
-        for n in (256, 512, 768, 1024):
-            for bw_bytes in (4, 8, 16, 24):
-                res = model.cycles_offchip(n, bw_bytes / 8.0)
-                rows.append({
-                    "num_cores": num_cores,
-                    "n": n,
-                    "onchip_memory_mbytes": (n * n) * 8 / 2 ** 20,
-                    "offchip_bw_bytes_per_cycle": bw_bytes,
-                    "gflops": res.gflops(frequency_ghz),
-                    "utilization_pct": 100.0 * res.utilization,
-                })
-    return rows
+    spec = (SweepSpec()
+            .constants(nr=4, frequency_ghz=frequency_ghz)
+            .grid(num_cores=(4, 8, 16),
+                  n=(256, 512, 768, 1024),
+                  offchip_bw_bytes_per_cycle=(4, 8, 16, 24)))
+    result = sweep(spec.jobs("chip_gemm"), **_engine_kwargs())
+    return [{
+        "num_cores": row["num_cores"],
+        "n": row["n"],
+        "onchip_memory_mbytes": row["n"] * row["n"] * 8 / 2 ** 20,
+        "offchip_bw_bytes_per_cycle": int(row["offchip_bw_bytes_per_cycle"]),
+        "gflops": row["gflops"],
+        "utilization_pct": row["utilization_pct"],
+    } for row in result.rows]
 
 
 # ----------------------------------------------------------- Figs. 4.7/4.8
 def fig_4_7_4_8_pe_area_power_vs_local_store() -> List[Dict]:
     """PE area and power efficiency vs local store size at 45 nm."""
-    rows = []
-    for kbytes in (2, 4, 6, 8, 10, 12, 14, 16, 18, 20):
-        pe = build_pe(precision=Precision.DOUBLE, frequency_ghz=1.0,
-                      local_store_kbytes=float(kbytes))
-        eff = pe.efficiency()
-        rows.append({
-            "local_store_kbytes": kbytes,
-            "pe_area_mm2": pe.area_mm2,
-            "store_area_mm2": pe.store_a.area_mm2 + pe.store_b.area_mm2,
-            "fpu_area_mm2": pe.fmac.area_mm2,
-            "pe_mw_per_gflop": eff.mw_per_gflop,
-            "store_mw_per_gflop": 1e3 * pe.memory_power_w / pe.peak_gflops,
-            "fpu_mw_per_gflop": 1e3 * pe.fmac_power_w / pe.peak_gflops,
-            "leakage_mw_per_gflop": 1e3 * 0.25 * (pe.fmac_power_w + pe.memory_power_w)
-            / pe.peak_gflops,
-        })
-    return rows
+    spec = (SweepSpec()
+            .constants(precision=Precision.DOUBLE.value, frequency_ghz=1.0)
+            .grid(local_store_kbytes=(2, 4, 6, 8, 10, 12, 14, 16, 18, 20)))
+    result = sweep(spec.jobs("pe"), **_engine_kwargs())
+    return [{
+        "local_store_kbytes": int(row["local_store_kbytes"]),
+        "pe_area_mm2": row["pe_area_mm2"],
+        "store_area_mm2": row["store_area_mm2"],
+        "fpu_area_mm2": row["fpu_area_mm2"],
+        "pe_mw_per_gflop": row["mw_per_gflop"],
+        "store_mw_per_gflop": 1e3 * row["memory_power_w"] / row["peak_gflops"],
+        "fpu_mw_per_gflop": 1e3 * row["fmac_power_w"] / row["peak_gflops"],
+        "leakage_mw_per_gflop": 1e3 * 0.25 * (row["fmac_power_w"] + row["memory_power_w"])
+        / row["peak_gflops"],
+    } for row in result.rows]
 
 
 # -------------------------------------------------------- Figs. 4.9 - 4.12

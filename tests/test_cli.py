@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -51,6 +53,13 @@ def test_design_summary(capsys):
     assert "area_mm2" in out
 
 
+def test_simulate_fft_reports_rounded_points(capsys):
+    assert main(["simulate", "fft", "--size", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "64-point" in out
+    assert "rounded from --size 8" in out
+
+
 def test_parser_structure():
     parser = build_parser()
     args = parser.parse_args(["simulate", "trsm", "--size", "12", "--nr", "4"])
@@ -58,3 +67,159 @@ def test_parser_structure():
     assert args.size == 12
     with pytest.raises(SystemExit):
         parser.parse_args(["simulate", "not-a-kernel"])
+
+
+def test_experiments_json_to_file(tmp_path, capsys):
+    path = tmp_path / "out.json"
+    assert main(["experiments", "table_4_1", "--json", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    assert "table_4_1" in payload["experiments"]
+    assert payload["experiments"]["table_4_1"]
+
+
+def test_design_json_to_stdout(capsys):
+    assert main(["design", "--cores", "8", "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["design"]["cores"] == 8
+    assert payload["design"]["gflops_per_w"] > 0
+
+
+def test_sweep_design_grid_reports_frontier(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    argv = ["sweep", "--runner", "design", "--grid", "cores=4,8,16,24",
+            "--grid", "nr=2,4,8", "--grid", "frequency_ghz=0.5,1.0",
+            "--cache-dir", cache]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "24 jobs: 24 executed, 0 cached" in out
+    assert "Pareto frontier" in out
+    assert "best per metric:" in out
+
+    # Acceptance: the second, warm-cache run executes zero jobs.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "0 executed, 24 cached" in out
+
+
+def test_sweep_json_output(tmp_path, capsys):
+    argv = ["sweep", "--runner", "design", "--grid", "cores=4,8",
+            "--no-cache", "--json", "-"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["jobs"] == 2
+    assert len(payload["rows"]) == 2
+    assert payload["objectives"] == ["gflops", "gflops_per_w", "gflops_per_mm2"]
+    assert payload["frontier"]
+
+
+def test_sweep_zip_and_set(tmp_path, capsys):
+    argv = ["sweep", "--runner", "design", "--set", "nr=4",
+            "--zip", "cores=4,8", "--zip", "frequency_ghz=1.0,1.4",
+            "--no-cache", "--json", "-"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["jobs"] == 2
+    freqs = [row["frequency_ghz"] for row in payload["rows"]]
+    assert freqs == [1.0, 1.4]
+
+
+def test_sweep_simulate_runner(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    argv = ["sweep", "--runner", "simulate", "--grid", "kernel=gemm,syrk",
+            "--grid", "size=8,16", "--cache-dir", cache, "--json", "-"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["executed"] == 4
+    assert {row["kernel"] for row in payload["rows"]} == {"gemm", "syrk"}
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["executed"] == 0 and payload["cached"] == 4
+
+
+def test_sweep_rejects_empty_spec(capsys):
+    assert main(["sweep", "--runner", "design"]) == 2
+    assert "no jobs" in capsys.readouterr().err
+
+
+def test_sweep_rejects_malformed_axis(capsys):
+    assert main(["sweep", "--grid", "cores"]) == 2
+    assert "--grid expects" in capsys.readouterr().err
+
+
+def test_simulate_fft_accepts_unaligned_size(capsys):
+    # fft derives a radix-4 point count, so the nr-alignment rule of the
+    # matrix kernels does not apply (matches the engine's simulate runner).
+    assert main(["simulate", "fft", "--size", "10"]) == 0
+    assert "64-point" in capsys.readouterr().out
+
+
+def test_sweep_rejects_duplicate_set(capsys):
+    assert main(["sweep", "--set", "nr=2", "--set", "nr=8",
+                 "--grid", "cores=4", "--no-cache"]) == 2
+    assert "already defined" in capsys.readouterr().err
+
+
+def test_json_to_unwritable_path_fails_cleanly(capsys):
+    assert main(["design", "--json", "/proc/nope/x.json"]) == 2
+    assert "cannot write JSON" in capsys.readouterr().err
+
+
+def test_simulate_rejects_nonpositive_size(capsys):
+    assert main(["simulate", "fft", "--size", "0"]) == 2
+    assert "size must be positive" in capsys.readouterr().err
+
+
+def test_sweep_rejects_nonfinite_axis_value(capsys):
+    assert main(["sweep", "--runner", "design", "--grid", "cores=inf",
+                 "--no-cache"]) == 2
+    assert "sweep failed" in capsys.readouterr().err
+
+
+def test_sweep_best_per_metric_lists_float_axes(capsys):
+    assert main(["sweep", "--runner", "design", "--grid", "cores=4,8",
+                 "--grid", "frequency_ghz=0.5,1.0", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    best_lines = out.split("best per metric:")[1]
+    assert "frequency_ghz=" in best_lines
+
+
+def test_sweep_rejects_duplicate_axis_cleanly(capsys):
+    assert main(["sweep", "--grid", "cores=4,8", "--grid", "cores=16",
+                 "--no-cache"]) == 2
+    assert "already defined" in capsys.readouterr().err
+
+
+def test_sweep_rejects_duplicate_zip_axis(capsys):
+    assert main(["sweep", "--zip", "cores=4,8", "--zip", "cores=16,32",
+                 "--no-cache"]) == 2
+    assert "already defined" in capsys.readouterr().err
+
+
+def test_sweep_unusable_cache_dir_degrades_to_no_cache(tmp_path, capsys):
+    blocker = tmp_path / "cachefile"
+    blocker.write_text("not a directory")
+    assert main(["sweep", "--runner", "design", "--grid", "cores=4,8",
+                 "--cache-dir", str(blocker)]) == 0
+    captured = capsys.readouterr()
+    assert "cache directory unusable" in captured.err
+    assert "2 executed" in captured.out
+
+
+def test_sweep_rejects_zip_length_mismatch_cleanly(capsys):
+    assert main(["sweep", "--zip", "cores=4,8", "--zip", "nr=2",
+                 "--no-cache"]) == 2
+    assert "equal lengths" in capsys.readouterr().err
+
+
+def test_sweep_warns_on_unknown_parameter(capsys):
+    assert main(["sweep", "--runner", "design", "--grid", "coresz=4,8",
+                 "--no-cache"]) == 0
+    err = capsys.readouterr().err
+    assert "ignores parameter(s) coresz" in err
+
+
+def test_sweep_rejects_unknown_objective(capsys):
+    argv = ["sweep", "--runner", "design", "--grid", "cores=4,8",
+            "--no-cache", "--objectives", "not_a_column"]
+    assert main(argv) == 2
+    assert "sweep failed" in capsys.readouterr().err

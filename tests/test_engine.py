@@ -1,0 +1,376 @@
+"""Tests for the parallel, cached design-space sweep engine."""
+
+import json
+
+import pytest
+
+from repro.engine import (SweepSpec, best_per_metric, code_fingerprint, dominates,
+                          execute_jobs, frontier_report, get_runner, pareto_frontier,
+                          runner_names, sweep)
+from repro.engine.cache import ResultCache
+from repro.engine.spec import Job, canonical_params, params_key
+
+
+# ------------------------------------------------------------------- spec
+class TestSweepSpec:
+    def test_grid_expands_cartesian_product(self):
+        spec = SweepSpec().grid(a=(1, 2, 3), b=(10, 20))
+        points = spec.expand()
+        assert len(points) == 6
+        assert points[0] == {"a": 1, "b": 10}
+        assert points[-1] == {"a": 3, "b": 20}
+
+    def test_constants_apply_to_every_point(self):
+        spec = SweepSpec().constants(nr=4).grid(cores=(4, 8))
+        assert all(p["nr"] == 4 for p in spec.expand())
+
+    def test_zip_axes_vary_together(self):
+        spec = SweepSpec().zip(a=(1, 2, 3), b=(10, 20, 30))
+        assert spec.expand() == [{"a": 1, "b": 10}, {"a": 2, "b": 20},
+                                 {"a": 3, "b": 30}]
+
+    def test_zip_crossed_with_grid(self):
+        spec = SweepSpec().grid(c=(0, 1)).zip(a=(1, 2), b=(10, 20))
+        assert len(spec) == 4
+
+    def test_zip_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            SweepSpec().zip(a=(1, 2), b=(10,))
+
+    def test_filter_prunes_points(self):
+        spec = SweepSpec().grid(a=(1, 2, 3, 4)).filter(lambda p: p["a"] % 2 == 0)
+        assert [p["a"] for p in spec.expand()] == [2, 4]
+
+    def test_duplicate_axis_raises(self):
+        with pytest.raises(ValueError, match="already defined"):
+            SweepSpec().constants(a=1).grid(a=(1, 2))
+
+    def test_combinators_do_not_mutate_parent(self):
+        base = SweepSpec().grid(a=(1, 2))
+        extended = base.grid(b=(1, 2, 3))
+        assert len(base) == 2
+        assert len(extended) == 6
+
+    def test_non_scalar_value_rejected(self):
+        with pytest.raises(TypeError, match="scalar"):
+            SweepSpec().constants(a={"no": "dicts"})
+
+    def test_expansion_is_deterministic(self):
+        make = lambda: SweepSpec().grid(a=(3, 1, 2), b=("x", "y")).expand()
+        assert make() == make()
+
+
+class TestJobHashing:
+    def test_key_is_order_insensitive(self):
+        j1 = Job.create("design", {"cores": 8, "nr": 4})
+        j2 = Job.create("design", {"nr": 4, "cores": 8})
+        assert j1 == j2
+        assert j1.key == j2.key
+
+    def test_key_differs_across_params_and_runner(self):
+        j1 = Job.create("design", {"cores": 8})
+        j2 = Job.create("design", {"cores": 16})
+        j3 = Job.create("simulate", {"cores": 8})
+        assert len({j1.key, j2.key, j3.key}) == 3
+
+    def test_integral_floats_normalised(self):
+        assert canonical_params({"nr": 4.0}) == canonical_params({"nr": 4})
+        assert params_key("r", {"f": 1.0}) == params_key("r", {"f": 1})
+        assert params_key("r", {"f": 1.5}) != params_key("r", {"f": 1})
+
+    def test_jobs_are_hashable(self):
+        jobs = SweepSpec().grid(a=(1, 2)).jobs("design")
+        assert len(set(jobs)) == 2
+
+
+# ------------------------------------------------------------------ cache
+class TestResultCache:
+    def _job(self, **params):
+        return Job.create("design", params or {"cores": 8})
+
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        job = self._job()
+        assert cache.get(job) is None
+        cache.put(job, {"gflops": 100.0})
+        assert cache.get(job) == {"gflops": 100.0}
+        assert cache.hits == 1 and cache.misses == 1
+        assert job in cache
+
+    def test_code_version_invalidates(self, tmp_path):
+        job = self._job()
+        ResultCache(tmp_path, code_version="v1").put(job, {"gflops": 1.0})
+        assert ResultCache(tmp_path, code_version="v2").get(job) is None
+        assert ResultCache(tmp_path, code_version="v1").get(job) == {"gflops": 1.0}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        job = self._job()
+        path = cache.put(job, {"gflops": 1.0})
+        path.write_text("{ not json")
+        assert cache.get(job) is None
+        assert not path.exists()
+
+    def test_foreign_format_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        job = self._job()
+        path = cache.put(job, {"gflops": 1.0})
+        path.write_text('{"not_row": 1}')
+        assert cache.get(job) is None
+        assert not path.exists()
+        path = cache.put(job, {"gflops": 1.0})
+        path.write_text('["valid json, wrong shape"]')
+        assert cache.get(job) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        for cores in (4, 8, 16):
+            cache.put(self._job(cores=cores), {"cores": cores})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_stats_shape(self, tmp_path):
+        stats = ResultCache(tmp_path, code_version="v1").stats()
+        assert {"directory", "code_version", "hits", "misses", "entries"} <= set(stats)
+
+
+# --------------------------------------------------------------- executor
+def _chip_jobs(n_cores=(4, 8, 12, 16), bws=(8, 16, 24)):
+    spec = (SweepSpec().constants(nr=4, n=1024, frequency_ghz=1.0)
+            .grid(num_cores=n_cores, offchip_bw_bytes_per_cycle=bws))
+    return spec.jobs("chip_gemm")
+
+
+class TestExecutor:
+    def test_serial_matches_thread_and_process(self):
+        jobs = _chip_jobs()
+        serial = execute_jobs(jobs, mode="serial")
+        thread = execute_jobs(jobs, mode="thread", max_workers=4)
+        process = execute_jobs(jobs, mode="process", max_workers=2)
+        assert json.dumps(serial.rows) == json.dumps(thread.rows)
+        assert json.dumps(serial.rows) == json.dumps(process.rows)
+
+    def test_rows_follow_job_order(self):
+        jobs = _chip_jobs()
+        result = execute_jobs(jobs, mode="thread", max_workers=4, batch_size=1)
+        for job, row in zip(result.jobs, result.rows):
+            params = job.params_dict
+            assert row["num_cores"] == params["num_cores"]
+            assert row["offchip_bw_bytes_per_cycle"] == params["offchip_bw_bytes_per_cycle"]
+
+    def test_cache_makes_second_run_incremental(self, tmp_path):
+        jobs = _chip_jobs()
+        cache = ResultCache(tmp_path, code_version="v1")
+        cold = execute_jobs(jobs, mode="serial", cache=cache)
+        warm = execute_jobs(jobs, mode="serial", cache=cache)
+        assert cold.executed == len(jobs) and cold.cached == 0
+        assert warm.executed == 0 and warm.cached == len(jobs)
+        assert json.dumps(cold.rows) == json.dumps(warm.rows)
+
+    def test_partial_cache_runs_only_missing_jobs(self, tmp_path):
+        jobs = _chip_jobs()
+        cache = ResultCache(tmp_path, code_version="v1")
+        execute_jobs(jobs[:5], mode="serial", cache=cache)
+        result = execute_jobs(jobs, mode="serial", cache=cache)
+        assert result.cached == 5
+        assert result.executed == len(jobs) - 5
+
+    def test_cache_write_failure_keeps_rows_and_disables_cache(self, tmp_path, capsys):
+        jobs = _chip_jobs(n_cores=(4, 8), bws=(8, 16))
+        cache = ResultCache(tmp_path, code_version="v1")
+        original_put = cache.put
+        calls = []
+
+        def flaky_put(job, row):
+            calls.append(job)
+            if len(calls) >= 2:
+                raise OSError("disk full")
+            return original_put(job, row)
+
+        cache.put = flaky_put
+        result = execute_jobs(jobs, mode="serial", cache=cache)
+        assert len(result.rows) == len(jobs)
+        assert all(row for row in result.rows)
+        assert "caching disabled" in capsys.readouterr().err
+        assert len(calls) == 2  # caching stopped after the failure
+
+    def test_progress_callback_reaches_total(self):
+        jobs = _chip_jobs()
+        seen = []
+        execute_jobs(jobs, mode="serial", batch_size=2,
+                     progress=lambda done, total: seen.append((done, total)))
+        assert seen[0] == (0, len(jobs))
+        assert seen[-1] == (len(jobs), len(jobs))
+        dones = [d for d, _ in seen]
+        assert dones == sorted(dones)
+
+    def test_runner_error_propagates(self):
+        bad = [Job.create("simulate", {"kernel": "gemm", "size": 10, "nr": 4})]
+        with pytest.raises(ValueError, match="multiple of nr"):
+            execute_jobs(bad, mode="serial")
+
+    def test_unknown_runner_raises(self):
+        with pytest.raises(KeyError, match="unknown runner"):
+            execute_jobs([Job.create("nope", {})], mode="serial")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            execute_jobs([], mode="warp")
+
+    def test_explicit_pool_mode_honoured_for_single_shard(self):
+        jobs = _chip_jobs(n_cores=(4, 8), bws=(8,))
+        result = execute_jobs(jobs, mode="process", batch_size=100)
+        assert result.mode == "process"
+        assert json.dumps(result.rows) == \
+            json.dumps(execute_jobs(jobs, mode="serial").rows)
+
+    def test_runner_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError, match="size must be positive"):
+            execute_jobs([Job.create("simulate", {"kernel": "gemm", "size": 0})],
+                         mode="serial")
+
+    def test_usable_cache_dir_degrades(self, capsys):
+        from repro.engine import usable_cache_dir
+
+        assert usable_cache_dir(None) is None
+        assert usable_cache_dir("/proc/nope/x") is None
+        assert "running without cache" in capsys.readouterr().err
+
+    def test_usable_cache_dir_passes_through(self, tmp_path):
+        from repro.engine import usable_cache_dir
+
+        target = tmp_path / "cache"
+        assert usable_cache_dir(target) == str(target)
+        assert target.is_dir()
+
+    def test_sweep_wrapper_with_spec(self, tmp_path):
+        spec = SweepSpec().constants(nr=4, n=512, frequency_ghz=1.0).grid(
+            num_cores=(4, 8), offchip_bw_bytes_per_cycle=(8, 16))
+        result = sweep(spec, runner="chip_gemm", mode="serial",
+                       cache_dir=str(tmp_path))
+        assert result.total == 4
+        again = sweep(spec, runner="chip_gemm", mode="serial",
+                      cache_dir=str(tmp_path))
+        assert again.executed == 0
+
+    def test_sweep_requires_runner_for_spec(self):
+        with pytest.raises(ValueError, match="runner"):
+            sweep(SweepSpec().grid(a=(1,)))
+
+
+# ---------------------------------------------------------------- runners
+class TestRunners:
+    def test_registry_contents(self):
+        names = runner_names()
+        for expected in ("design", "pe", "simulate", "chip_gemm", "core_gemm",
+                         "experiment"):
+            assert expected in names
+
+    def test_design_runner_row(self):
+        row = get_runner("design")({"cores": 8, "nr": 4, "frequency_ghz": 1.0})
+        assert row["cores"] == 8
+        assert row["gflops"] > 0
+        assert row["gflops_per_w"] > 0
+        assert row["gflops_per_mm2"] > 0
+
+    def test_simulate_runner_is_deterministic(self):
+        params = {"kernel": "gemm", "size": 8, "nr": 4, "seed": 7}
+        r1 = get_runner("simulate")(params)
+        r2 = get_runner("simulate")(params)
+        assert r1 == r2
+        assert r1["mac_ops"] == 8 ** 3
+
+    def test_simulate_runner_reports_fft_points(self):
+        row = get_runner("simulate")({"kernel": "fft", "size": 8, "nr": 4})
+        assert row["effective_size"] == 64
+
+    def test_experiment_runner_wraps_registry(self):
+        row = get_runner("experiment")({"exp_id": "table_4_1"})
+        assert row["exp_id"] == "table_4_1"
+        assert row["num_rows"] > 0
+        assert isinstance(row["data"], list)
+
+    def test_code_fingerprint_mentions_runners(self):
+        fp = code_fingerprint()
+        assert "repro-" in fp and "simulate=v" in fp
+
+
+# ----------------------------------------------------------------- pareto
+class TestPareto:
+    ROWS = [
+        {"id": "a", "gflops": 100.0, "gflops_per_w": 10.0, "gflops_per_mm2": 1.0},
+        {"id": "b", "gflops": 200.0, "gflops_per_w": 5.0, "gflops_per_mm2": 2.0},
+        {"id": "c", "gflops": 50.0, "gflops_per_w": 5.0, "gflops_per_mm2": 0.5},
+        {"id": "d", "gflops": 100.0, "gflops_per_w": 10.0, "gflops_per_mm2": 1.0},
+    ]
+
+    def test_dominated_rows_removed(self):
+        frontier = pareto_frontier(self.ROWS)
+        ids = [r["id"] for r in frontier]
+        assert "c" not in ids
+        assert "a" in ids and "b" in ids
+
+    def test_duplicates_both_survive(self):
+        ids = [r["id"] for r in pareto_frontier(self.ROWS)]
+        assert "a" in ids and "d" in ids
+
+    def test_dominates(self):
+        a, b, c = self.ROWS[0], self.ROWS[1], self.ROWS[2]
+        assert dominates(b, c, ("gflops", "gflops_per_w"))
+        assert not dominates(a, b, ("gflops", "gflops_per_w"))
+
+    def test_minimize_flips_sense(self):
+        rows = [{"cost": 1.0, "perf": 1.0}, {"cost": 2.0, "perf": 1.0}]
+        frontier = pareto_frontier(rows, ("cost", "perf"), minimize={"cost"})
+        assert frontier == [rows[0]]
+
+    def test_best_per_metric(self):
+        best = best_per_metric(self.ROWS)
+        assert best["gflops"]["id"] == "b"
+        assert best["gflops_per_w"]["id"] == "a"  # first wins ties
+
+    def test_missing_objective_raises(self):
+        with pytest.raises(KeyError, match="missing objective"):
+            pareto_frontier([{"gflops": 1.0}], ("gflops", "nope"))
+
+    def test_frontier_report_shape(self):
+        report = frontier_report(self.ROWS)
+        assert report["num_rows"] == 4
+        assert report["objectives"] == list(("gflops", "gflops_per_w", "gflops_per_mm2"))
+        assert set(report["best"]) == {"gflops", "gflops_per_w", "gflops_per_mm2"}
+
+    def test_empty_rows(self):
+        assert pareto_frontier([]) == []
+        assert best_per_metric([]) == {}
+
+
+# ---------------------------------------------------------------- figures
+class TestFigureEngineEnv:
+    def test_invalid_mode_degrades_with_warning(self, monkeypatch, capsys):
+        from repro.experiments.figures import _engine_kwargs
+
+        monkeypatch.setenv("REPRO_FIGURE_MODE", "proces")
+        kwargs = _engine_kwargs()
+        assert kwargs["mode"] == "auto"
+        assert "REPRO_FIGURE_MODE" in capsys.readouterr().err
+
+    def test_unusable_cache_dir_degrades_with_warning(self, monkeypatch, capsys):
+        from repro.experiments.figures import _engine_kwargs
+
+        monkeypatch.setenv("REPRO_FIGURE_CACHE", "/proc/nope/x")
+        kwargs = _engine_kwargs()
+        assert kwargs["cache_dir"] is None
+        assert "REPRO_FIGURE_CACHE" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------- end-to-end
+def test_serial_and_parallel_sweeps_are_byte_identical(tmp_path):
+    """Acceptance: parallel results are byte-identical to serial results."""
+    spec = (SweepSpec().constants(nr=4, frequency_ghz=1.0, seed=0)
+            .grid(kernel=("gemm", "syrk", "cholesky"), size=(8, 16)))
+    serial = sweep(spec.jobs("simulate"), mode="serial")
+    parallel = sweep(spec.jobs("simulate"), mode="process", max_workers=2,
+                     batch_size=2)
+    assert json.dumps(serial.rows, sort_keys=True) == \
+        json.dumps(parallel.rows, sort_keys=True)
