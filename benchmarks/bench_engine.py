@@ -62,3 +62,49 @@ def test_sweep_process_pool_if_available(benchmark):
                                             max_workers=2, batch_size=3))
     serial = execute_jobs(jobs, mode="serial")
     assert json.dumps(result.rows) == json.dumps(serial.rows)
+
+
+def test_sweep_lap_runtime_runner(benchmark):
+    """The LAP-runtime runner schedules verified task graphs per job."""
+    jobs = (SweepSpec()
+            .constants(tile=8, nr=4, seed=0)
+            .grid(algorithm=("gemm",), num_cores=(1, 2), n=(16, 24))
+            .jobs("lap_runtime"))
+    result = benchmark(lambda: execute_jobs(jobs, mode="serial"))
+    assert all(row["residual"] < 1e-9 for row in result.rows)
+    # More cores never lengthen the makespan of the same task graph.
+    by_point = {(row["n"], row["num_cores"]): row["makespan_cycles"]
+                for row in result.rows}
+    for n in (16, 24):
+        assert by_point[(n, 2)] <= by_point[(n, 1)]
+
+
+def test_sweep_blocked_fact_runner(benchmark):
+    """The blocked-factorization runner verifies every factorization row."""
+    jobs = (SweepSpec()
+            .constants(nr=4, seed=0, n=8)
+            .grid(method=("cholesky", "lu", "qr"))
+            .jobs("blocked_fact"))
+    result = benchmark(lambda: execute_jobs(jobs, mode="serial"))
+    assert all(row["residual"] < 1e-8 for row in result.rows)
+    assert all(row["cycles"] > 0 for row in result.rows)
+
+
+def test_cache_prune_keeps_sweeps_bounded(benchmark, tmp_path):
+    """LRU pruning bounds the store without touching the newest entries."""
+    from repro.engine.spec import Job
+
+    cache = ResultCache(tmp_path, code_version="v1")
+    for i in range(256):
+        cache.put(Job.create("design", {"cores": i}), {"cores": i, "pad": "x" * 128})
+    entry_bytes = cache.size_bytes() // 256
+
+    def refill_and_prune():
+        for i in range(256):
+            cache.put(Job.create("design", {"cores": i}),
+                      {"cores": i, "pad": "x" * 128})
+        return cache.prune(max_bytes=64 * entry_bytes)
+
+    benchmark(refill_and_prune)
+    assert len(cache) <= 64
+    assert cache.size_bytes() <= 64 * entry_bytes

@@ -70,6 +70,39 @@ def evaluate_designs(rows: list, frequency: float, local_store_kbytes: float,
     return result.rows
 
 
+def verify_runtime_and_factorizations(mode: str, cache_dir: str) -> list:
+    """Cross-check the chosen design with the cycle-level schedulers.
+
+    Runs small blocked GEMM/Cholesky task graphs through the LAP runtime
+    (sweeping core counts) and the three blocked factorizations on the LAC
+    simulator; every row carries a ``residual`` against the numpy
+    reference, so the analytical sweep above is backed by verified
+    executions.
+    """
+    runtime_jobs = (SweepSpec()
+                    .constants(tile=8, nr=4, n=16, seed=0)
+                    .grid(algorithm=("gemm",), num_cores=(1, 2, 4))
+                    .jobs("lap_runtime"))
+    fact_jobs = (SweepSpec()
+                 .constants(nr=4, n=8, seed=0)
+                 .grid(method=("cholesky", "lu", "qr"))
+                 .jobs("blocked_fact"))
+    result = sweep(runtime_jobs + fact_jobs, mode=mode, cache_dir=cache_dir)
+    print(f"   engine: {result.summary()}")
+    rows = []
+    for row in result.rows[:len(runtime_jobs)]:
+        rows.append({"what": f"gemm tasks on {row['num_cores']} core(s)",
+                     "cycles": row["makespan_cycles"],
+                     "efficiency_pct": round(100 * row["parallel_efficiency"], 1),
+                     "residual": f"{row['residual']:.1e}"})
+    for row in result.rows[len(runtime_jobs):]:
+        rows.append({"what": f"blocked {row['method']}",
+                     "cycles": row["cycles"],
+                     "efficiency_pct": round(100 * row["utilization"], 1),
+                     "residual": f"{row['residual']:.1e}"})
+    return rows
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--target-gflops", type=float, default=600.0,
@@ -128,6 +161,11 @@ def main() -> None:
                    "gflops_per_mm2": s.gflops_per_mm2}
                   for s in chip_level_specs("double") if not s.is_lap]
     print(render_table(comparison))
+    print()
+
+    print("6. Cycle-level verification (LAP runtime + blocked factorizations):")
+    checks = verify_runtime_and_factorizations(args.mode, args.cache_dir)
+    print(render_table(checks))
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Provides four sub-commands:
+Provides five sub-commands:
 
 ``experiments``
     list or regenerate the tables/figures of the evaluation
@@ -17,6 +17,10 @@ Provides four sub-commands:
     cached sweep engine and report the Pareto frontier
     (``python -m repro.cli sweep --runner design --grid cores=4,8,16
     --grid nr=2,4,8``).
+``cache``
+    inspect and manage the on-disk sweep result cache
+    (``python -m repro.cli cache stats`` / ``... cache prune --max-mb 64``
+    / ``... cache clear``).
 """
 
 from __future__ import annotations
@@ -266,6 +270,70 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------------- cache
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.engine.cache import ResultCache
+
+    directory = pathlib.Path(args.cache_dir).expanduser()
+    if not directory.is_dir():
+        # Never create the directory from an inspection/management command
+        # (a typo'd --cache-dir would otherwise leave an empty tree behind).
+        if args.action == "stats":
+            if args.json:
+                return _emit_json({"cache": {"directory": str(directory),
+                                             "exists": False, "entries": 0,
+                                             "size_bytes": 0}}, args.json)
+            print(f"directory     : {directory}")
+            print("entries       : 0 (directory does not exist yet)")
+            return 0
+        print(f"cache directory '{directory}' does not exist; nothing to "
+              f"{args.action}", file=sys.stderr)
+        return 2
+    max_bytes = int(args.max_mb * 1024 * 1024) if args.max_mb is not None else None
+    try:
+        cache = ResultCache(directory, max_bytes=max_bytes)
+    except (OSError, ValueError) as exc:
+        print(f"cannot open cache '{directory}': {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "stats":
+        stats = cache.stats()
+        stats["size_mbytes"] = round(stats["size_bytes"] / 2 ** 20, 3)
+        if args.json:
+            return _emit_json({"cache": stats}, args.json)
+        for key in ("directory", "code_version", "entries", "size_bytes",
+                    "size_mbytes", "max_bytes"):
+            print(f"{key:<14s}: {stats[key]}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        if args.json:
+            return _emit_json({"cache": {"action": "clear", "removed": removed,
+                                         "directory": str(cache.directory)}},
+                              args.json)
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.directory}")
+        return 0
+    # prune
+    if cache.max_bytes is None and args.max_entries is None:
+        print("prune needs a limit: pass --max-mb / --max-entries or set "
+              "REPRO_CACHE_MAX_MB", file=sys.stderr)
+        return 2
+    removed = cache.prune(max_entries=args.max_entries)
+    stats = cache.stats()
+    if args.json:
+        return _emit_json({"cache": {"action": "prune", "removed": removed,
+                                     "entries": stats["entries"],
+                                     "size_bytes": stats["size_bytes"],
+                                     "directory": str(cache.directory)}},
+                          args.json)
+    print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'}; "
+          f"{stats['entries']} left ({stats['size_bytes'] / 2 ** 20:.3f} MB)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -323,6 +391,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--json", metavar="PATH",
                        help="write rows + frontier as JSON to PATH ('-' for stdout)")
     p_swp.set_defaults(func=_cmd_sweep)
+
+    p_cache = sub.add_parser("cache", help="inspect or manage the sweep result cache")
+    p_cache.add_argument("action", choices=["stats", "clear", "prune"],
+                         help="stats: counters and size; clear: remove every "
+                              "entry; prune: LRU-evict down to the limits")
+    p_cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help=f"cache directory (default: {DEFAULT_CACHE_DIR})")
+    p_cache.add_argument("--max-mb", type=float, default=None,
+                         help="size budget in MB for prune (default: "
+                              "REPRO_CACHE_MAX_MB)")
+    p_cache.add_argument("--max-entries", type=int, default=None,
+                         help="entry-count budget for prune")
+    p_cache.add_argument("--json", metavar="PATH",
+                         help="write the result as JSON to PATH ('-' for stdout)")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -6,7 +6,8 @@ incremental, parallel runs:
 * :mod:`repro.engine.spec` -- :class:`SweepSpec` (grid / zip / filter
   combinators) expanding into hashable :class:`Job` objects,
 * :mod:`repro.engine.cache` -- a content-addressed on-disk result cache
-  keyed by job parameters plus code version,
+  keyed by job parameters plus code version, with an LRU eviction layer
+  (``max_bytes`` / ``REPRO_CACHE_MAX_MB`` and an explicit ``prune()``),
 * :mod:`repro.engine.executor` -- a sharded executor fanning jobs out over
   ``concurrent.futures`` with deterministic result ordering,
 * :mod:`repro.engine.analysis` -- Pareto-frontier extraction and
@@ -29,7 +30,8 @@ from typing import Optional, Sequence, Union
 
 from repro.engine.analysis import (DEFAULT_OBJECTIVES, best_per_metric, dominates,
                                    frontier_report, pareto_frontier)
-from repro.engine.cache import ResultCache, default_code_version, usable_cache_dir
+from repro.engine.cache import (CACHE_MAX_MB_ENV, ResultCache, default_code_version,
+                                env_max_bytes, usable_cache_dir)
 from repro.engine.executor import (ProgressCallback, SweepExecutor, SweepResult,
                                    execute_jobs)
 from repro.engine.runners import (HEAVY_RUNNERS, KNOWN_PARAMS, PARETO_OBJECTIVES,
@@ -40,6 +42,7 @@ from repro.engine.spec import Job, Params, SweepSpec, canonical_params, params_k
 __all__ = [
     "SweepSpec", "Job", "Params", "canonical_params", "params_key",
     "ResultCache", "default_code_version", "usable_cache_dir",
+    "CACHE_MAX_MB_ENV", "env_max_bytes",
     "SweepExecutor", "SweepResult", "ProgressCallback", "execute_jobs",
     "pareto_frontier", "best_per_metric", "dominates", "frontier_report",
     "DEFAULT_OBJECTIVES", "PARETO_OBJECTIVES", "RUNNERS", "HEAVY_RUNNERS",

@@ -6,6 +6,14 @@ sweep only executes the jobs whose results are not on disk yet, while any
 bump of the package (or runner) version transparently invalidates stale
 entries.  Entries are small JSON files laid out in two-level fan-out
 directories (``ab/abcdef....json``) to keep directories shallow.
+
+The cache is bounded: give :class:`ResultCache` a ``max_bytes`` budget (or
+set ``REPRO_CACHE_MAX_MB`` in the environment) and the least-recently-used
+entries are evicted whenever a ``put()`` pushes the store over budget.
+Recency is tracked through entry mtimes, which ``get()`` refreshes on every
+hit, so hot sweep results survive while abandoned design points age out.
+``prune()`` applies the same policy explicitly (also by entry count), and
+the ``repro cache`` CLI sub-command exposes stats/clear/prune.
 """
 
 from __future__ import annotations
@@ -14,11 +22,47 @@ import json
 import os
 import pathlib
 import tempfile
-from typing import Dict, Iterator, Mapping, Optional, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.engine.spec import Job, params_key
 
 PathLike = Union[str, pathlib.Path]
+
+#: Environment variable holding the default cache size budget in megabytes.
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
+#: Enforce the size budget only every this many writes, so large sweeps do
+#: not pay a directory scan per job once the running estimate is warm.
+_ENFORCE_EVERY_PUTS = 32
+
+#: Automatic enforcement evicts down to this fraction of ``max_bytes`` (a
+#: low-water mark), so a cache sitting at its budget does not re-trigger a
+#: full prune scan on every subsequent write.
+_LOW_WATER_FRACTION = 0.9
+
+
+def env_max_bytes() -> Optional[int]:
+    """Cache size budget from ``REPRO_CACHE_MAX_MB``, or ``None`` if unset.
+
+    An unparsable or non-positive value degrades to "no limit" with a
+    warning, mirroring how the other engine environment knobs behave.
+    """
+    raw = os.environ.get(CACHE_MAX_MB_ENV)
+    if raw is None or not raw.strip():
+        return None
+    import sys
+
+    try:
+        mbytes = float(raw)
+    except ValueError:
+        print(f"warning: {CACHE_MAX_MB_ENV}='{raw}' is not a number; "
+              f"cache size is unlimited", file=sys.stderr)
+        return None
+    if mbytes <= 0:
+        print(f"warning: {CACHE_MAX_MB_ENV}={mbytes} is not positive; "
+              f"cache size is unlimited", file=sys.stderr)
+        return None
+    return int(mbytes * 1024 * 1024)
 
 
 def usable_cache_dir(cache_dir: Optional[PathLike],
@@ -58,14 +102,34 @@ def default_code_version() -> str:
 
 
 class ResultCache:
-    """Content-addressed store of one JSON row per executed job."""
+    """Content-addressed store of one JSON row per executed job.
 
-    def __init__(self, directory: PathLike, code_version: Optional[str] = None) -> None:
+    Parameters
+    ----------
+    directory:
+        Root of the two-level fan-out store (created if missing).
+    code_version:
+        Cache namespace; defaults to the package + runner fingerprint.
+    max_bytes:
+        Size budget for LRU eviction.  ``None`` (the default) reads
+        ``REPRO_CACHE_MAX_MB`` from the environment; when that is also
+        unset the cache grows without bound and only explicit ``prune()``
+        or ``clear()`` calls remove entries.
+    """
+
+    def __init__(self, directory: PathLike, code_version: Optional[str] = None,
+                 max_bytes: Optional[int] = None) -> None:
         self.directory = pathlib.Path(directory).expanduser()
         self.directory.mkdir(parents=True, exist_ok=True)
         self.code_version = code_version if code_version is not None else default_code_version()
+        self.max_bytes = max_bytes if max_bytes is not None else env_max_bytes()
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None for unlimited)")
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._approx_bytes: Optional[int] = None
+        self._puts_since_enforce = 0
 
     # ---------------------------------------------------------------- keys
     def key_for(self, job: Job) -> str:
@@ -99,6 +163,11 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # Refresh the entry's mtime so LRU eviction keeps hot results.
+            os.utime(path, None)
+        except OSError:
+            pass
         return row
 
     def put(self, job: Job, row: Mapping) -> pathlib.Path:
@@ -122,7 +191,32 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._account_put(path)
         return path
+
+    def _account_put(self, path: pathlib.Path) -> None:
+        """Track the approximate store size and enforce the LRU budget."""
+        if self.max_bytes is None:
+            return
+        try:
+            entry_bytes = path.stat().st_size
+        except OSError:
+            entry_bytes = 0
+        if self._approx_bytes is None:
+            self._approx_bytes = self.size_bytes()
+        else:
+            self._approx_bytes += entry_bytes
+        self._puts_since_enforce += 1
+        if self._puts_since_enforce >= _ENFORCE_EVERY_PUTS:
+            # Resync periodically: concurrent writers / external deletions
+            # drift the running estimate.
+            self._puts_since_enforce = 0
+            self._approx_bytes = self.size_bytes()
+        if self._approx_bytes > self.max_bytes:
+            # Evict to the low-water mark, not to the exact budget: a store
+            # hovering at max_bytes would otherwise pay a full prune scan on
+            # every subsequent put.
+            self.prune(max_bytes=max(1, int(self.max_bytes * _LOW_WATER_FRACTION)))
 
     def __contains__(self, job: Job) -> bool:
         return self.path_for(job).is_file()
@@ -134,6 +228,16 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self._entry_paths())
 
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries (all code versions)."""
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
     def clear(self) -> int:
         """Remove every entry (all code versions); returns the count removed."""
         removed = 0
@@ -143,14 +247,71 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self._approx_bytes = 0
+        return removed
+
+    def _entries_oldest_first(self) -> List[Tuple[float, int, pathlib.Path]]:
+        """(mtime, size, path) of every entry, least recently used first."""
+        entries: List[Tuple[float, int, pathlib.Path]] = []
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda item: (item[0], str(item[2])))
+        return entries
+
+    def prune(self, max_bytes: Optional[int] = None,
+              max_entries: Optional[int] = None) -> int:
+        """Evict least-recently-used entries until the store fits the limits.
+
+        ``max_bytes`` defaults to the instance budget (``self.max_bytes``);
+        ``max_entries`` additionally caps the entry count.  Entries of every
+        code version compete in one LRU order — a stale-version entry is
+        never refreshed by ``get()``, so stale results age out first.
+        Returns the number of entries removed.
+        """
+        max_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        if max_bytes is None and max_entries is None:
+            return 0
+        entries = self._entries_oldest_first()
+        total_bytes = sum(size for _, size, _ in entries)
+        total_entries = len(entries)
+        removed = 0
+        for _, size, path in entries:
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            over_count = max_entries is not None and total_entries > max_entries
+            if not over_bytes and not over_count:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total_bytes -= size
+            total_entries -= 1
+            removed += 1
+        self.evictions += removed
+        self._approx_bytes = total_bytes
         return removed
 
     def stats(self) -> Dict[str, object]:
         """Hit/miss counters of this cache instance plus the on-disk size."""
+        entries = 0
+        size_bytes = 0
+        for path in self._entry_paths():
+            try:
+                size_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
         return {
             "directory": str(self.directory),
             "code_version": self.code_version,
             "hits": self.hits,
             "misses": self.misses,
-            "entries": len(self),
+            "evictions": self.evictions,
+            "entries": entries,
+            "size_bytes": size_bytes,
+            "max_bytes": self.max_bytes,
         }

@@ -2,8 +2,8 @@
 
 A *runner* is a pure, picklable function ``params_dict -> row_dict``; the
 executor looks runners up by name so that jobs can be shipped to worker
-processes without serialising code.  Five adapters cover the three existing
-evaluation code paths plus the two analytical models the figures sweep:
+processes without serialising code.  The adapters cover every evaluation
+code path the paper figures sweep:
 
 ``design``
     chip-level area/power/efficiency of a LAP design point (``build_lap``),
@@ -12,9 +12,25 @@ evaluation code paths plus the two analytical models the figures sweep:
 ``simulate``
     a kernel run on the cycle-level LAC simulator with seeded operands,
 ``chip_gemm``
-    the analytical multi-core GEMM model (cores x bandwidth x problem size),
+    the analytical multi-core GEMM model with off-chip transfers
+    (cores x bandwidth x problem size),
+``chip_gemm_onchip``
+    the on-chip side of the same model: one ``C += A_p B_p`` update under a
+    given (or the required) aggregate on-chip bandwidth (Figs. 4.2/4.3),
 ``core_gemm``
     the analytical single-core GEMM model (local store x bandwidth),
+``blas``
+    the level-3 BLAS utilisation model (GEMM/TRSM/SYRK/SYR2K/...;
+    Figs. 5.8-5.10),
+``fact_kernel``
+    the analytical factorization inner-kernel cycle/energy model across
+    SFU placements and MAC extensions (Figs. 6.6/6.7, A.3-A.8),
+``lap_runtime``
+    a blocked GEMM or Cholesky task graph scheduled by the LAP runtime onto
+    the cycle-level multi-core simulator (block sizes x core counts),
+``blocked_fact``
+    a full blocked Cholesky/LU/QR factorization on the cycle-level LAC
+    simulator, cross-checked against the analytical panel model,
 ``experiment``
     one :mod:`repro.experiments.registry` entry (cached artifact regeneration).
 
@@ -37,13 +53,18 @@ RUNNER_VERSIONS: Dict[str, int] = {
     "pe": 1,
     "simulate": 1,
     "chip_gemm": 1,
+    "chip_gemm_onchip": 1,
     "core_gemm": 1,
+    "blas": 1,
+    "fact_kernel": 1,
+    "lap_runtime": 1,
+    "blocked_fact": 1,
     "experiment": 1,
 }
 
 #: Runners that do enough work per job for a process pool to pay off; the
 #: analytical models run in microseconds and stay serial under mode="auto".
-HEAVY_RUNNERS = frozenset({"simulate", "experiment"})
+HEAVY_RUNNERS = frozenset({"simulate", "experiment", "lap_runtime", "blocked_fact"})
 
 #: Parameters each runner understands; anything else in a job's params is
 #: silently unused, so the CLI warns when a sweep axis is not listed here.
@@ -54,7 +75,18 @@ KNOWN_PARAMS: Dict[str, frozenset] = {
     "simulate": frozenset({"kernel", "size", "nr", "frequency_ghz", "seed"}),
     "chip_gemm": frozenset({"num_cores", "nr", "n", "offchip_bw_bytes_per_cycle",
                             "frequency_ghz"}),
+    "chip_gemm_onchip": frozenset({"num_cores", "nr", "n", "kc", "mc",
+                                   "onchip_bw_words_per_cycle", "full_overlap",
+                                   "frequency_ghz"}),
     "core_gemm": frozenset({"nr", "n", "kc", "mc", "bandwidth_bytes_per_cycle"}),
+    "blas": frozenset({"operation", "nr", "n", "kc", "mc",
+                       "bandwidth_bytes_per_cycle", "full_overlap"}),
+    "fact_kernel": frozenset({"kernel", "k", "nr", "sfu", "mac_extension",
+                              "precision", "frequency_ghz", "local_store_kbytes"}),
+    "lap_runtime": frozenset({"algorithm", "n", "tile", "num_cores", "nr",
+                              "onchip_mbytes", "seed"}),
+    "blocked_fact": frozenset({"method", "n", "nr", "seed", "use_extension",
+                               "frequency_ghz"}),
     "experiment": frozenset({"exp_id"}),
 }
 
@@ -213,6 +245,259 @@ def run_core_gemm(params: Params) -> dict:
     }
 
 
+def run_chip_gemm_onchip(params: Params) -> dict:
+    """Evaluate the on-chip side of the multi-core GEMM model at one point.
+
+    With ``onchip_bw_words_per_cycle`` unset, the model's *required*
+    aggregate bandwidth for the blocking is used (the Fig. 4.2 operating
+    point); with it set, the update runs bandwidth-limited (Fig. 4.3).
+    """
+    from repro.models.chip_model import ChipGEMMModel
+
+    num_cores = int(params.get("num_cores", 8))
+    nr = int(params.get("nr", 4))
+    n = int(params.get("n", 1024))
+    kc = int(params.get("kc", 128))
+    mc = int(params.get("mc", kc))
+    full_overlap = bool(params.get("full_overlap", False))
+    frequency = float(params.get("frequency_ghz", 1.0))
+    model = ChipGEMMModel(num_cores=num_cores, nr=nr)
+    bw = params.get("onchip_bw_words_per_cycle")
+    if bw is None:
+        bw = model.onchip_bandwidth_words_per_cycle(mc, kc, n, full_overlap)
+    res = model.cycles_onchip(mc, kc, n, float(bw), full_overlap)
+    mem_words = model.onchip_memory_words(mc, kc, n, full_overlap)
+    element_bytes = model.element_bytes
+    return {
+        "num_cores": num_cores,
+        "nr": nr,
+        "n": n,
+        "mc": mc,
+        "kc": kc,
+        "full_overlap": full_overlap,
+        "frequency_ghz": frequency,
+        "onchip_bw_words_per_cycle": float(bw),
+        "onchip_bandwidth_bytes_per_cycle": float(bw) * element_bytes,
+        "onchip_memory_words": mem_words,
+        "onchip_memory_mbytes": mem_words * element_bytes / 2 ** 20,
+        "total_cycles": res.total_cycles,
+        "peak_cycles": res.peak_cycles,
+        "utilization": res.utilization,
+        "utilization_pct": 100.0 * res.utilization,
+        "gflops": res.gflops(frequency),
+    }
+
+
+def run_blas_point(params: Params) -> dict:
+    """Evaluate the level-3 BLAS utilisation model at one design point."""
+    from repro.models.blas_model import BlasCoreModel, Level3Operation
+
+    operation = Level3Operation(str(params.get("operation", "gemm")).lower())
+    nr = int(params.get("nr", 4))
+    n = int(params.get("n", 512))
+    kc = int(params.get("kc", 128))
+    mc = int(params.get("mc", kc))
+    bw_bytes = float(params.get("bandwidth_bytes_per_cycle", 4.0))
+    full_overlap = bool(params.get("full_overlap", False))
+    model = BlasCoreModel(nr=nr)
+    res = model.utilization(operation, mc=mc, kc=kc, n=n,
+                            bandwidth_elements_per_cycle=bw_bytes / 8.0,
+                            full_overlap=full_overlap)
+    return {
+        "operation": operation.value,
+        "nr": nr,
+        "n": n,
+        "mc": mc,
+        "kc": kc,
+        "bandwidth_bytes_per_cycle": bw_bytes,
+        "bandwidth_elements_per_cycle": bw_bytes / 8.0,
+        "local_store_kbytes_per_pe": res.local_store_kbytes_per_pe,
+        "utilization": res.utilization,
+        "utilization_pct": 100.0 * res.utilization,
+    }
+
+
+def run_fact_kernel(params: Params) -> dict:
+    """Evaluate the factorization inner-kernel model at one configuration.
+
+    The reference core area (for GFLOPS/mm^2) is derived inside the runner
+    from the same precision / frequency / local-store parameters, so the
+    whole row is a pure function of the job parameters and cache keys stay
+    stable across calls.
+    """
+    from repro.arch.lap_design import build_pe
+    from repro.hw.sfu import SFUPlacement
+    from repro.models.fact_model import (FactorizationKernel,
+                                         FactorizationKernelModel, MACExtension)
+
+    precision = _precision(params)
+    kernel = FactorizationKernel(str(params.get("kernel", "lu")).lower())
+    k = int(params.get("k", 128))
+    nr = int(params.get("nr", 4))
+    placement = SFUPlacement(str(params.get("sfu", "isolate")).lower())
+    extension = MACExtension(str(params.get("mac_extension", "none")).lower())
+    frequency = float(params.get("frequency_ghz", 1.0))
+    local_store = float(params.get("local_store_kbytes", 16.0))
+    model = FactorizationKernelModel(nr=nr, precision=precision,
+                                     frequency_ghz=frequency,
+                                     local_store_kbytes_per_pe=local_store)
+    core_area = nr * nr * build_pe(precision, frequency, local_store).area_mm2
+    res = model.evaluate(kernel, k, placement, extension)
+    eff = model.efficiency(res, core_area)
+    return {
+        "kernel": kernel.value,
+        "k": k,
+        "nr": nr,
+        "sfu": placement.value,
+        "mac_extension": extension.value,
+        "precision": precision.value,
+        "frequency_ghz": frequency,
+        "core_area_mm2": core_area,
+        "cycles": res.cycles,
+        "useful_flops": res.useful_flops,
+        "utilization": res.utilization,
+        "gflops": eff.gflops,
+        "gflops_per_w": eff.gflops_per_watt,
+        "gflops_per_mm2": eff.gflops_per_mm2,
+        "inverse_energy_delay": eff.inverse_energy_delay,
+    }
+
+
+def run_lap_runtime(params: Params) -> dict:
+    """Schedule one blocked algorithm through the LAP runtime simulator.
+
+    Decomposes an ``n x n`` problem into ``tile x tile`` tasks with the
+    algorithms-by-blocks library, executes the task graph on the cores of a
+    cycle-level LAP and reports makespan / load-balance / correctness.
+    """
+    import numpy as np
+
+    from repro.lap.chip import LAPConfig, LinearAlgebraProcessor
+    from repro.lap.runtime import LAPRuntime
+    from repro.lap.scheduler import GEMMScheduler
+
+    algorithm = str(params.get("algorithm", "gemm")).lower()
+    n = int(params.get("n", 16))
+    tile = int(params.get("tile", 8))
+    num_cores = int(params.get("num_cores", 2))
+    nr = int(params.get("nr", 4))
+    onchip_mbytes = float(params.get("onchip_mbytes", 1.0))
+    seed = int(params.get("seed", 0))
+    lap = LinearAlgebraProcessor(LAPConfig(num_cores=num_cores, nr=nr,
+                                           onchip_memory_mbytes=onchip_mbytes))
+    runtime = LAPRuntime(lap, tile)
+    rng = np.random.default_rng(seed)
+    if algorithm == "gemm":
+        stats = runtime.run_blocked_gemm(n, rng)
+        # The panel-blocking scheduler's static distribution only describes
+        # GEMM row panels; a factorization's shrinking trailing matrix has
+        # no such static assignment, so the metric is null for cholesky.
+        scheduler = GEMMScheduler(num_cores=num_cores, nr=nr)
+        static_balance = float(scheduler.load_balance(scheduler.assign_panels(n, tile)))
+    elif algorithm == "cholesky":
+        stats = runtime.run_blocked_cholesky(n, rng)
+        static_balance = None
+    else:
+        raise ValueError(f"unknown lap_runtime algorithm '{algorithm}' "
+                         f"(use 'gemm' or 'cholesky')")
+    busy = stats["per_core_busy_cycles"]
+    return {
+        "algorithm": algorithm,
+        "n": n,
+        "tile": tile,
+        "num_cores": num_cores,
+        "nr": nr,
+        "seed": seed,
+        "tasks_executed": int(stats["tasks_executed"]),
+        "makespan_cycles": int(stats["makespan_cycles"]),
+        "total_busy_cycles": int(sum(busy)),
+        "max_core_busy_cycles": int(max(busy)),
+        "min_core_busy_cycles": int(min(busy)),
+        "parallel_efficiency": float(stats["parallel_efficiency"]),
+        "static_load_balance": static_balance,
+        "residual": float(stats["residual"]),
+    }
+
+
+def run_blocked_factorization(params: Params) -> dict:
+    """Run one blocked factorization end to end on the LAC simulator.
+
+    Executes blocked Cholesky / LU (partial pivoting) / Householder QR on a
+    seeded ``n x n`` operand, verifies the factors against the input and
+    reports the simulator counters next to the analytical panel-model cycle
+    estimate of :class:`repro.models.fact_model.FactorizationKernelModel`.
+    """
+    import numpy as np
+
+    from repro.hw.sfu import SFUPlacement
+    from repro.kernels.blocked_factorizations import (lac_cholesky_blocked,
+                                                      lac_lu_blocked,
+                                                      lac_qr_blocked,
+                                                      lu_blocked_reconstruct,
+                                                      qr_blocked_q)
+    from repro.lac import LACConfig, LinearAlgebraCore
+    from repro.models.fact_model import (FactorizationKernel,
+                                         FactorizationKernelModel, MACExtension)
+
+    method = str(params.get("method", "lu")).lower()
+    n = int(params.get("n", 8))
+    nr = int(params.get("nr", 4))
+    seed = int(params.get("seed", 0))
+    use_extension = bool(params.get("use_extension", True))
+    frequency = float(params.get("frequency_ghz", 1.0))
+    core = LinearAlgebraCore(LACConfig(nr=nr, frequency_ghz=frequency))
+    rng = np.random.default_rng(seed)
+    model = FactorizationKernelModel(nr=nr, frequency_ghz=frequency)
+
+    if method == "cholesky":
+        g = rng.random((n, n))
+        a = g @ g.T + n * np.eye(n)
+        result = lac_cholesky_blocked(core, a)
+        factor = result.output
+        residual = float(np.max(np.abs(factor @ factor.T - a)))
+        model_cycles = model.cholesky_cycles(SFUPlacement.ISOLATED)
+        model_kernel = FactorizationKernel.CHOLESKY
+    elif method == "lu":
+        a = rng.random((n, n))
+        result = lac_lu_blocked(core, a, use_comparator_extension=use_extension)
+        lower, upper = lu_blocked_reconstruct(result.output)
+        permuted = a[result.extra["permutation"]]
+        residual = float(np.max(np.abs(permuted - lower @ upper)))
+        model_cycles = model.lu_panel_cycles(
+            n, SFUPlacement.ISOLATED,
+            MACExtension.COMPARATOR if use_extension else MACExtension.NONE)
+        model_kernel = FactorizationKernel.LU
+    elif method == "qr":
+        a = rng.random((n, n))
+        result = lac_qr_blocked(core, a, use_exponent_extension=use_extension)
+        q = qr_blocked_q(result.output, result.extra["tau"])
+        r = np.triu(result.output)
+        residual = float(np.max(np.abs(q @ r - a)))
+        model_cycles = model.qr_panel_cycles(
+            n, SFUPlacement.ISOLATED,
+            MACExtension.EXPONENT if use_extension else MACExtension.NONE)
+        model_kernel = FactorizationKernel.QR_HOUSEHOLDER
+    else:
+        raise ValueError(f"unknown blocked_fact method '{method}' "
+                         f"(use 'cholesky', 'lu' or 'qr')")
+    return {
+        "method": method,
+        "model_kernel": model_kernel.value,
+        "n": n,
+        "nr": nr,
+        "seed": seed,
+        "use_extension": use_extension,
+        "frequency_ghz": frequency,
+        "cycles": int(result.cycles),
+        "mac_ops": int(result.counters.mac_ops),
+        "flops": int(result.flops),
+        "utilization": float(result.utilization),
+        "gflops": float(result.gflops(frequency)),
+        "residual": residual,
+        "model_panel_cycles": float(model_cycles),
+    }
+
+
 def run_registry_experiment(params: Params) -> dict:
     """Regenerate one registered experiment (table / figure data series)."""
     # Imported lazily: the registry imports the figure generators, which in
@@ -237,7 +522,12 @@ RUNNERS: Dict[str, Callable[[Params], dict]] = {
     "pe": run_pe_point,
     "simulate": run_kernel_simulation,
     "chip_gemm": run_chip_gemm,
+    "chip_gemm_onchip": run_chip_gemm_onchip,
     "core_gemm": run_core_gemm,
+    "blas": run_blas_point,
+    "fact_kernel": run_fact_kernel,
+    "lap_runtime": run_lap_runtime,
+    "blocked_fact": run_blocked_factorization,
     "experiment": run_registry_experiment,
 }
 
@@ -248,7 +538,12 @@ PARETO_OBJECTIVES: Dict[str, Tuple[str, ...]] = {
     "pe": ("gflops_per_w", "gflops_per_mm2"),
     "simulate": ("gflops", "utilization"),
     "chip_gemm": ("gflops", "utilization_pct"),
+    "chip_gemm_onchip": ("utilization_pct",),
     "core_gemm": ("utilization_pct",),
+    "blas": ("utilization_pct",),
+    "fact_kernel": ("gflops_per_w", "gflops_per_mm2"),
+    "lap_runtime": ("parallel_efficiency",),
+    "blocked_fact": ("gflops", "utilization"),
     "experiment": (),
 }
 

@@ -5,12 +5,15 @@ dicts of series), without any plotting dependency; the benchmark harness
 prints the series and asserts the qualitative shape, and examples can feed
 them to matplotlib if available.
 
-The multi-point sweeps (core utilisation, PE frequency/local-store sweeps,
-chip performance vs off-chip bandwidth) expand through
-:mod:`repro.engine`, so regenerating the paper artifacts inherits the
-engine's batching, caching and parallelism: set ``REPRO_FIGURE_CACHE`` to a
-directory to make figure regeneration incremental, and
-``REPRO_FIGURE_MODE`` to ``thread``/``process`` to force a backend.
+Every multi-point sweep (core/chip GEMM utilisation, PE frequency and
+local-store sweeps, on-chip bandwidth vs memory, level-3 BLAS utilisation,
+factorization-kernel efficiency) expands through :mod:`repro.engine`, so
+regenerating the paper artifacts inherits the engine's batching, caching
+and parallelism: set ``REPRO_FIGURE_CACHE`` to a directory to make figure
+regeneration incremental, and ``REPRO_FIGURE_MODE`` to
+``thread``/``process`` to force a backend.  The remaining generators are
+single-point constructions (breakdowns, comparisons) with nothing to fan
+out.
 """
 
 from __future__ import annotations
@@ -26,11 +29,10 @@ from repro.engine import SweepSpec, sweep
 from repro.hw.fpu import Precision
 from repro.hw.memory import NUCACache, OnChipMemory
 from repro.hw.sfu import SFUPlacement, SpecialFunctionUnit
-from repro.models.blas_model import BlasCoreModel, Level3Operation
+from repro.models.blas_model import Level3Operation
 from repro.models.chip_model import ChipGEMMModel
 from repro.models.core_model import CoreGEMMModel
-from repro.models.fact_model import (FactorizationKernel, FactorizationKernelModel,
-                                     MACExtension)
+from repro.models.fact_model import FactorizationKernel, MACExtension
 from repro.models.fft_model import FFTCoreModel, FFTProblem, FFTVariant
 
 
@@ -106,13 +108,27 @@ def fig_3_6_pe_efficiency_vs_frequency(precision: Precision = Precision.DOUBLE) 
 # ----------------------------------------------------------------- Fig. 4.2
 def fig_4_2_onchip_bw_vs_memory() -> List[Dict]:
     """On-chip bandwidth vs memory size for (S=8, nr=4) and (S=2, nr=8)."""
-    rows: List[Dict] = []
-    kc_values = [32, 64, 96, 128, 192, 256, 384, 512]
+    kc_values = (32, 64, 96, 128, 192, 256, 384, 512)
+    jobs = []
     for num_cores, nr in ((8, 4), (2, 8)):
-        model = ChipGEMMModel(num_cores=num_cores, nr=nr)
-        rows.extend(model.sweep_onchip_memory_vs_bandwidth(
-            n_values=[512, 1024, 2048], kc_values=kc_values))
-    return rows
+        spec = (SweepSpec()
+                .constants(num_cores=num_cores, nr=nr, full_overlap=True)
+                .grid(n=(512, 1024, 2048), kc=kc_values)
+                # The S cores each hold an mc x kc block of A covering
+                # disjoint row panels of C, so S * kc cannot exceed n.
+                .filter(lambda p: p["kc"] <= p["n"]
+                        and p["num_cores"] * p["kc"] <= p["n"]))
+        jobs.extend(spec.jobs("chip_gemm_onchip"))
+    result = sweep(jobs, **_engine_kwargs())
+    return [{
+        "n": row["n"],
+        "num_cores": row["num_cores"],
+        "nr": row["nr"],
+        "kc": row["kc"],
+        "onchip_memory_mbytes": row["onchip_memory_mbytes"],
+        "onchip_bandwidth_bytes_per_cycle": row["onchip_bandwidth_bytes_per_cycle"],
+        "utilization": row["utilization"],
+    } for row in result.rows]
 
 
 # ----------------------------------------------------------------- Fig. 4.3
@@ -122,34 +138,34 @@ def fig_4_3_performance_vs_cores_and_bw(n: int = 1024) -> List[Dict]:
     The (num_cores, bandwidth) pairs follow the figure's four sets of curves
     with constant S/BW ratios: {S=4 BW=1, S=8 BW=2, ...} up to
     {S=4 BW=8, ..., S=16 BW=32}; bandwidths are total on-chip words/cycle.
+    Performance is relative to the best single-core design point, whose
+    jobs ride along in the same engine run (the first four rows).
     """
-    rows: List[Dict] = []
-    single_core = ChipGEMMModel(num_cores=1, nr=4)
-    kc_values = [32, 64, 128, 256]
-    base = None
-    for kc in kc_values:
-        res = single_core.cycles_onchip(kc, kc, n,
-                                        single_core.onchip_bandwidth_words_per_cycle(kc, kc, n))
-        if base is None or res.total_cycles < base:
-            base = res.total_cycles
+    kc_values = (32, 64, 128, 256)
+    base_jobs = (SweepSpec()
+                 .constants(num_cores=1, nr=4, n=n)
+                 .grid(kc=kc_values)
+                 .jobs("chip_gemm_onchip"))
+    jobs = list(base_jobs)
     for num_cores, bw_total in ((4, 1), (8, 2), (12, 3), (16, 4),
                                 (4, 2), (8, 4), (12, 6), (16, 8),
                                 (4, 4), (8, 8), (12, 12), (16, 16),
                                 (4, 8), (8, 16), (12, 24), (16, 32)):
-        model = ChipGEMMModel(num_cores=num_cores, nr=4)
-        for kc in kc_values:
-            if num_cores * kc > n:
-                continue
-            mem_words = model.onchip_memory_words(kc, kc, n)
-            res = model.cycles_onchip(kc, kc, n, float(bw_total))
-            rows.append({
-                "num_cores": num_cores,
-                "bw_words_per_cycle": bw_total,
-                "onchip_memory_mbytes": mem_words * 8 / 2 ** 20,
-                "relative_performance_pct": 100.0 * base / res.total_cycles if base else 0.0,
-                "utilization_pct": 100.0 * res.utilization,
-            })
-    return rows
+        spec = (SweepSpec()
+                .constants(num_cores=num_cores, nr=4, n=n,
+                           onchip_bw_words_per_cycle=float(bw_total))
+                .grid(kc=kc_values)
+                .filter(lambda p: p["num_cores"] * p["kc"] <= p["n"]))
+        jobs.extend(spec.jobs("chip_gemm_onchip"))
+    result = sweep(jobs, **_engine_kwargs())
+    base = min(row["total_cycles"] for row in result.rows[:len(base_jobs)])
+    return [{
+        "num_cores": row["num_cores"],
+        "bw_words_per_cycle": int(row["onchip_bw_words_per_cycle"]),
+        "onchip_memory_mbytes": row["onchip_memory_mbytes"],
+        "relative_performance_pct": 100.0 * base / row["total_cycles"] if base else 0.0,
+        "utilization_pct": row["utilization_pct"],
+    } for row in result.rows[len(base_jobs):]]
 
 
 # ----------------------------------------------------------------- Fig. 4.5
@@ -283,53 +299,54 @@ def fig_4_16_efficiency_comparison() -> List[Dict]:
 # ----------------------------------------------------------- Figs. 5.8/5.9
 def fig_5_8_5_9_syrk_trsm_utilization(mc: int = 256) -> List[Dict]:
     """SYRK and TRSM utilisation vs local store and bandwidth."""
-    rows: List[Dict] = []
-    kc_values = [16, 32, 64, 96, 128, 192, 256, 320, 384, 448, 512]
-    for nr in (4, 8):
-        model = BlasCoreModel(nr=nr)
-        for op in (Level3Operation.SYRK, Level3Operation.TRSM):
-            for bw_bytes in (1, 2, 3, 4, 8):
-                for kc in kc_values:
-                    res = model.utilization(op, mc=kc, kc=kc, n=512,
-                                            bandwidth_elements_per_cycle=bw_bytes / 8.0)
-                    rows.append({
-                        "operation": op.value,
-                        "nr": nr,
-                        "bandwidth_bytes_per_cycle": bw_bytes,
-                        "local_store_kbytes_per_pe": res.local_store_kbytes_per_pe,
-                        "utilization_pct": 100.0 * res.utilization,
-                    })
-    return rows
+    spec = (SweepSpec()
+            .constants(n=512)
+            .grid(nr=(4, 8),
+                  operation=(Level3Operation.SYRK.value, Level3Operation.TRSM.value),
+                  bandwidth_bytes_per_cycle=(1, 2, 3, 4, 8),
+                  kc=(16, 32, 64, 96, 128, 192, 256, 320, 384, 448, 512)))
+    result = sweep(spec.jobs("blas"), **_engine_kwargs())
+    return [{
+        "operation": row["operation"],
+        "nr": row["nr"],
+        "bandwidth_bytes_per_cycle": int(row["bandwidth_bytes_per_cycle"]),
+        "local_store_kbytes_per_pe": row["local_store_kbytes_per_pe"],
+        "utilization_pct": row["utilization_pct"],
+    } for row in result.rows]
 
 
 # ---------------------------------------------------------------- Fig. 5.10
 def fig_5_10_blas_utilization_comparison() -> List[Dict]:
     """Utilisation of GEMM/TRSM/SYRK/SYR2K at matched design points."""
-    rows: List[Dict] = []
-    kc_values = [16, 32, 64, 96, 128, 192, 256, 320, 384, 448, 512]
+    operations = (Level3Operation.GEMM.value, Level3Operation.TRSM.value,
+                  Level3Operation.SYRK.value, Level3Operation.SYR2K.value)
+    jobs = []
     for nr, bw_bytes in ((4, 4), (8, 8)):
-        model = BlasCoreModel(nr=nr)
-        for kc in kc_values:
-            for res in model.compare_operations(mc=kc, kc=kc, n=512,
-                                                bandwidth_elements_per_cycle=bw_bytes / 8.0):
-                rows.append({
-                    "operation": res.operation.value,
-                    "nr": nr,
-                    "bandwidth_bytes_per_cycle": bw_bytes,
-                    "local_store_kbytes_per_pe": res.local_store_kbytes_per_pe,
-                    "utilization_pct": 100.0 * res.utilization,
-                })
-    return rows
+        spec = (SweepSpec()
+                .constants(nr=nr, bandwidth_bytes_per_cycle=bw_bytes, n=512)
+                .grid(kc=(16, 32, 64, 96, 128, 192, 256, 320, 384, 448, 512),
+                      operation=operations))
+        jobs.extend(spec.jobs("blas"))
+    result = sweep(jobs, **_engine_kwargs())
+    return [{
+        "operation": row["operation"],
+        "nr": row["nr"],
+        "bandwidth_bytes_per_cycle": int(row["bandwidth_bytes_per_cycle"]),
+        "local_store_kbytes_per_pe": row["local_store_kbytes_per_pe"],
+        "utilization_pct": row["utilization_pct"],
+    } for row in result.rows]
 
 
 # ----------------------------------------------------------------- Fig. 6.5
 def fig_6_5_lac_area_breakdown() -> List[Dict]:
     """LAC area breakdown for the three divide/square-root options."""
     rows = []
+    # The PE (and hence the MAC array area) does not depend on the SFU
+    # placement, so build it once outside the sweep.
+    pe = build_pe(precision=Precision.DOUBLE, frequency_ghz=1.0, local_store_kbytes=16.0)
+    pes_area = 16 * pe.area_mm2
     for placement in SFUPlacement:
-        pe = build_pe(precision=Precision.DOUBLE, frequency_ghz=1.0, local_store_kbytes=16.0)
         sfu = SpecialFunctionUnit(placement=placement, precision=Precision.DOUBLE, nr=4)
-        pes_area = 16 * pe.area_mm2
         rows.append({
             "option": placement.value,
             "pes_area_mm2": pes_area,
@@ -342,32 +359,37 @@ def fig_6_5_lac_area_breakdown() -> List[Dict]:
 
 # ------------------------------------------------- Figs. 6.6/6.7, A.3-A.8
 def fig_6_6_6_7_factorization_efficiency(sizes: Sequence[int] = (64, 128, 256)) -> List[Dict]:
-    """Power efficiency of the vector-norm and LU inner kernels vs options."""
-    model = FactorizationKernelModel(nr=4)
-    core_area = 16 * build_pe(Precision.DOUBLE, 1.0, 16.0).area_mm2
-    rows: List[Dict] = []
+    """Power efficiency of the vector-norm and LU inner kernels vs options.
+
+    The ``fact_kernel`` runner derives the reference core area from the job
+    parameters itself, so no per-point ``build_pe`` instantiation happens
+    here and the cache keys depend only on the swept options.
+    """
+    placements = tuple(p.value for p in SFUPlacement)
     cases = [
         (FactorizationKernel.VECTOR_NORM,
-         [MACExtension.NONE, MACExtension.COMPARATOR, MACExtension.EXPONENT]),
-        (FactorizationKernel.LU, [MACExtension.NONE, MACExtension.COMPARATOR]),
+         (MACExtension.NONE, MACExtension.COMPARATOR, MACExtension.EXPONENT)),
+        (FactorizationKernel.LU, (MACExtension.NONE, MACExtension.COMPARATOR)),
     ]
+    jobs = []
     for kernel, extensions in cases:
-        for k in sizes:
-            for placement in SFUPlacement:
-                for ext in extensions:
-                    res = model.evaluate(kernel, k, placement, ext)
-                    eff = model.efficiency(res, core_area)
-                    rows.append({
-                        "kernel": kernel.value,
-                        "k": k,
-                        "sfu": placement.value,
-                        "mac_extension": ext.value,
-                        "gflops_per_w": eff.gflops_per_watt,
-                        "gflops_per_mm2": eff.gflops_per_mm2,
-                        "inverse_energy_delay": eff.inverse_energy_delay,
-                        "cycles": res.cycles,
-                    })
-    return rows
+        spec = (SweepSpec()
+                .constants(kernel=kernel.value, nr=4)
+                .grid(k=tuple(int(k) for k in sizes),
+                      sfu=placements,
+                      mac_extension=tuple(e.value for e in extensions)))
+        jobs.extend(spec.jobs("fact_kernel"))
+    result = sweep(jobs, **_engine_kwargs())
+    return [{
+        "kernel": row["kernel"],
+        "k": row["k"],
+        "sfu": row["sfu"],
+        "mac_extension": row["mac_extension"],
+        "gflops_per_w": row["gflops_per_w"],
+        "gflops_per_mm2": row["gflops_per_mm2"],
+        "inverse_energy_delay": row["inverse_energy_delay"],
+        "cycles": row["cycles"],
+    } for row in result.rows]
 
 
 # ----------------------------------------------------------------- Fig. 6.9

@@ -14,7 +14,11 @@ matrix can be verified end to end on the simulator:
 * **blocked Householder QR** -- panel factorization
   (:func:`repro.kernels.qr.lac_householder_qr_panel`) followed by applying
   the block of reflectors to the trailing columns (the WY-less, vector-at-a-
-  time variant, which is what the LAC kernel produces).
+  time variant, which is what the LAC kernel produces);
+* **blocked right-looking Cholesky** -- diagonal blocks factored with the
+  unblocked kernel (:func:`repro.kernels.cholesky.lac_cholesky`), panel
+  TRSMs against the diagonal factor and rank-``nr`` trailing updates, the
+  single-core view of the task graph the LAP runtime schedules across cores.
 """
 
 from __future__ import annotations
@@ -23,12 +27,29 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.kernels.cholesky import lac_cholesky
 from repro.kernels.common import KernelResult, check_divisible, counters_delta
 from repro.kernels.gemm import lac_rank1_sequence
 from repro.kernels.lu import lac_lu_panel
 from repro.kernels.qr import lac_householder_qr_panel
 from repro.kernels.trsm import lac_trsm_unblocked
 from repro.lac.core import LinearAlgebraCore
+
+
+def lac_cholesky_blocked(core: LinearAlgebraCore, a: np.ndarray) -> KernelResult:
+    """Blocked right-looking Cholesky factorization of an SPD ``n x n`` matrix.
+
+    :func:`repro.kernels.cholesky.lac_cholesky` already implements the full
+    blocked algorithm (unblocked diagonal factorization, panel TRSM,
+    SYRK-shaped trailing updates); this driver re-exports it under the
+    blocked-factorization naming so Cholesky, LU and QR share one module
+    and one result convention (``output`` is the lower factor ``L`` with
+    ``L @ L.T == A``).
+    """
+    result = lac_cholesky(core, a)
+    return KernelResult(name="cholesky_blocked", output=result.output,
+                        counters=result.counters, num_pes=result.num_pes,
+                        extra=result.extra)
 
 
 def lac_lu_blocked(core: LinearAlgebraCore, a: np.ndarray,

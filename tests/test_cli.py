@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -223,3 +224,134 @@ def test_sweep_rejects_unknown_objective(capsys):
             "--no-cache", "--objectives", "not_a_column"]
     assert main(argv) == 2
     assert "sweep failed" in capsys.readouterr().err
+
+
+def test_sweep_lists_new_runner_families():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "--runner", "lap_runtime",
+                              "--grid", "n=16"])
+    assert args.runner == "lap_runtime"
+    args = parser.parse_args(["sweep", "--runner", "blocked_fact",
+                              "--grid", "method=lu"])
+    assert args.runner == "blocked_fact"
+    for runner in ("chip_gemm_onchip", "blas", "fact_kernel"):
+        assert parser.parse_args(["sweep", "--runner", runner,
+                                  "--grid", "n=512"]).runner == runner
+
+
+def test_sweep_lap_runtime_runner_end_to_end(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    argv = ["sweep", "--runner", "lap_runtime", "--set", "algorithm=gemm",
+            "--set", "tile=8", "--set", "num_cores=2", "--grid", "n=16,24",
+            "--cache-dir", cache, "--json", "-"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["executed"] == 2
+    assert all(row["residual"] < 1e-9 for row in payload["rows"])
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["executed"] == 0 and payload["cached"] == 2
+
+
+def test_sweep_blocked_fact_runner_end_to_end(capsys):
+    argv = ["sweep", "--runner", "blocked_fact", "--grid",
+            "method=cholesky,lu,qr", "--set", "n=8", "--no-cache", "--json", "-"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert {row["method"] for row in payload["rows"]} == {"cholesky", "lu", "qr"}
+    assert all(row["residual"] < 1e-8 for row in payload["rows"])
+
+
+# ------------------------------------------------------------------- cache
+def _seed_cache(tmp_path, capsys, jobs=4):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["sweep", "--runner", "design", "--grid",
+                 "cores=" + ",".join(str(4 * (i + 1)) for i in range(jobs)),
+                 "--cache-dir", cache_dir, "--json", os.devnull]) == 0
+    capsys.readouterr()  # drain the sweep's output before the cache command
+    return cache_dir
+
+
+def test_cache_stats(tmp_path, capsys):
+    cache_dir = _seed_cache(tmp_path, capsys)
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "entries       : 4" in out
+    assert "size_mbytes" in out
+
+
+def test_cache_stats_json(tmp_path, capsys):
+    cache_dir = _seed_cache(tmp_path, capsys)
+    assert main(["cache", "stats", "--cache-dir", cache_dir,
+                 "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"]["entries"] == 4
+    assert payload["cache"]["size_bytes"] > 0
+
+
+def test_cache_prune_to_entry_budget(tmp_path, capsys):
+    cache_dir = _seed_cache(tmp_path, capsys)
+    assert main(["cache", "prune", "--cache-dir", cache_dir,
+                 "--max-entries", "1"]) == 0
+    assert "pruned 3 entries; 1 left" in capsys.readouterr().out
+
+
+def test_cache_prune_and_clear_honor_json(tmp_path, capsys):
+    cache_dir = _seed_cache(tmp_path, capsys)
+    assert main(["cache", "prune", "--cache-dir", cache_dir,
+                 "--max-entries", "2", "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"]["action"] == "prune"
+    assert payload["cache"]["removed"] == 2
+    assert payload["cache"]["entries"] == 2
+    assert main(["cache", "clear", "--cache-dir", cache_dir,
+                 "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"] == {"action": "clear", "removed": 2,
+                                "directory": cache_dir}
+
+
+def test_cache_prune_to_size_budget(tmp_path, capsys):
+    cache_dir = _seed_cache(tmp_path, capsys)
+    assert main(["cache", "prune", "--cache-dir", cache_dir,
+                 "--max-mb", "0.0001"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned" in out
+    assert main(["cache", "stats", "--cache-dir", cache_dir, "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"]["size_bytes"] <= 0.0001 * 2 ** 20
+
+
+def test_cache_prune_without_limits_fails_cleanly(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+    cache_dir = _seed_cache(tmp_path, capsys)
+    assert main(["cache", "prune", "--cache-dir", cache_dir]) == 2
+    assert "needs a limit" in capsys.readouterr().err
+
+
+def test_cache_clear(tmp_path, capsys):
+    cache_dir = _seed_cache(tmp_path, capsys)
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 4 cache entries" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache_dir, "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"]["entries"] == 0
+
+
+def test_cache_clear_missing_directory_fails_cleanly(tmp_path, capsys):
+    assert main(["cache", "clear", "--cache-dir",
+                 str(tmp_path / "nope")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_cache_stats_missing_directory_does_not_create_it(tmp_path, capsys):
+    target = tmp_path / "nope"
+    assert main(["cache", "stats", "--cache-dir", str(target)]) == 0
+    assert "does not exist yet" in capsys.readouterr().out
+    assert not target.exists()
+    assert main(["cache", "stats", "--cache-dir", str(target),
+                 "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"] == {"directory": str(target), "exists": False,
+                                "entries": 0, "size_bytes": 0}
+    assert not target.exists()

@@ -132,7 +132,96 @@ class TestResultCache:
 
     def test_stats_shape(self, tmp_path):
         stats = ResultCache(tmp_path, code_version="v1").stats()
-        assert {"directory", "code_version", "hits", "misses", "entries"} <= set(stats)
+        assert {"directory", "code_version", "hits", "misses", "entries",
+                "evictions", "size_bytes", "max_bytes"} <= set(stats)
+
+
+# --------------------------------------------------------------- eviction
+class TestCacheEviction:
+    def _fill(self, cache, count, start=0):
+        paths = []
+        for i in range(start, start + count):
+            job = Job.create("design", {"cores": i})
+            paths.append(cache.put(job, {"cores": i, "pad": "x" * 64}))
+        return paths
+
+    def _touch_older(self, paths, offset=3600.0):
+        """Backdate entry mtimes so LRU order is unambiguous."""
+        import os
+        import time
+
+        now = time.time()
+        for i, path in enumerate(paths):
+            os.utime(path, (now - offset + i, now - offset + i))
+
+    def test_prune_by_max_entries_removes_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        paths = self._fill(cache, 6)
+        self._touch_older(paths)
+        removed = cache.prune(max_entries=2)
+        assert removed == 4
+        assert len(cache) == 2
+        survivors = [p for p in paths if p.exists()]
+        assert survivors == paths[-2:]
+
+    def test_prune_by_max_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        paths = self._fill(cache, 8)
+        self._touch_older(paths)
+        entry_bytes = paths[0].stat().st_size
+        removed = cache.prune(max_bytes=3 * entry_bytes)
+        assert removed == 5
+        assert cache.size_bytes() <= 3 * entry_bytes
+        assert cache.evictions == 5
+
+    def test_prune_without_limits_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        self._fill(cache, 3)
+        assert cache.prune() == 0
+        assert len(cache) == 3
+
+    def test_get_refreshes_lru_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        paths = self._fill(cache, 4)
+        self._touch_older(paths)
+        # A hit on the oldest entry must protect it from the next prune.
+        oldest = Job.create("design", {"cores": 0})
+        assert cache.get(oldest) is not None
+        cache.prune(max_entries=1)
+        assert cache.get(oldest) is not None
+
+    def test_put_enforces_max_bytes_budget(self, tmp_path):
+        probe = ResultCache(tmp_path / "probe", code_version="v1")
+        entry_bytes = self._fill(probe, 1)[0].stat().st_size
+        cache = ResultCache(tmp_path / "real", code_version="v1",
+                            max_bytes=4 * entry_bytes)
+        for i in range(12):
+            cache.put(Job.create("design", {"cores": i}),
+                      {"cores": i, "pad": "x" * 64})
+        # Automatic enforcement evicts to the low-water mark (90% of the
+        # budget), so the store ends strictly below max_bytes.
+        assert cache.size_bytes() <= int(0.9 * 4 * entry_bytes)
+        assert cache.evictions >= 8
+
+    def test_invalid_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, code_version="v1", max_bytes=0)
+
+    def test_env_budget_applies(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "2")
+        cache = ResultCache(tmp_path, code_version="v1")
+        assert cache.max_bytes == 2 * 1024 * 1024
+
+    def test_env_budget_degrades_on_garbage(self, monkeypatch, capsys):
+        from repro.engine.cache import env_max_bytes
+
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "lots")
+        assert env_max_bytes() is None
+        assert "REPRO_CACHE_MAX_MB" in capsys.readouterr().err
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "-3")
+        assert env_max_bytes() is None
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB")
+        assert env_max_bytes() is None
 
 
 # --------------------------------------------------------------- executor

@@ -1,0 +1,219 @@
+"""Tests for the LAP-runtime, blocked-factorization and analytical runners.
+
+The LAP-runtime and blocked-factorization runner families drive the
+cycle-level simulators, so the core property checked here is that their
+jobs round-trip through the serial and the parallel executors with
+identical results, and that every row is functionally verified (small
+residual against the numpy reference).
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (HEAVY_RUNNERS, KNOWN_PARAMS, PARETO_OBJECTIVES,
+                          SweepSpec, execute_jobs, get_runner, runner_names)
+from repro.engine.runners import RUNNER_VERSIONS
+from repro.engine.spec import Job
+
+NEW_RUNNERS = ("chip_gemm_onchip", "blas", "fact_kernel", "lap_runtime",
+               "blocked_fact")
+
+
+# ---------------------------------------------------------------- registry
+class TestRegistry:
+    def test_new_runners_registered(self):
+        names = runner_names()
+        for name in NEW_RUNNERS:
+            assert name in names
+            assert name in RUNNER_VERSIONS
+            assert name in KNOWN_PARAMS
+            assert name in PARETO_OBJECTIVES
+
+    def test_simulator_backed_runners_are_heavy(self):
+        assert "lap_runtime" in HEAVY_RUNNERS
+        assert "blocked_fact" in HEAVY_RUNNERS
+        # The analytical models must stay serial under mode="auto".
+        assert "blas" not in HEAVY_RUNNERS
+        assert "fact_kernel" not in HEAVY_RUNNERS
+        assert "chip_gemm_onchip" not in HEAVY_RUNNERS
+
+
+# ------------------------------------------------------- analytical runners
+class TestChipGemmOnchip:
+    def test_matches_model_with_required_bandwidth(self):
+        from repro.models.chip_model import ChipGEMMModel
+
+        row = get_runner("chip_gemm_onchip")(
+            {"num_cores": 8, "nr": 4, "n": 1024, "kc": 128, "full_overlap": True})
+        model = ChipGEMMModel(num_cores=8, nr=4)
+        bw = model.onchip_bandwidth_words_per_cycle(128, 128, 1024, True)
+        res = model.cycles_onchip(128, 128, 1024, bw, True)
+        assert row["onchip_bw_words_per_cycle"] == pytest.approx(bw)
+        assert row["total_cycles"] == pytest.approx(res.total_cycles)
+        assert row["utilization"] == pytest.approx(res.utilization)
+
+    def test_explicit_bandwidth_limits_utilization(self):
+        runner = get_runner("chip_gemm_onchip")
+        starved = runner({"num_cores": 8, "nr": 4, "n": 1024, "kc": 128,
+                          "onchip_bw_words_per_cycle": 0.5})
+        fed = runner({"num_cores": 8, "nr": 4, "n": 1024, "kc": 128})
+        assert starved["utilization"] < fed["utilization"]
+
+
+class TestBlasRunner:
+    def test_matches_model(self):
+        from repro.models.blas_model import BlasCoreModel, Level3Operation
+
+        row = get_runner("blas")({"operation": "syrk", "nr": 4, "kc": 96,
+                                  "n": 512, "bandwidth_bytes_per_cycle": 2})
+        res = BlasCoreModel(nr=4).utilization(
+            Level3Operation.SYRK, mc=96, kc=96, n=512,
+            bandwidth_elements_per_cycle=2 / 8.0)
+        assert row["utilization"] == pytest.approx(res.utilization)
+        assert row["local_store_kbytes_per_pe"] == pytest.approx(
+            res.local_store_kbytes_per_pe)
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(ValueError):
+            get_runner("blas")({"operation": "gemv"})
+
+
+class TestFactKernelRunner:
+    def test_matches_model_and_derives_core_area(self):
+        from repro.arch.lap_design import build_pe
+        from repro.hw.fpu import Precision
+        from repro.hw.sfu import SFUPlacement
+        from repro.models.fact_model import (FactorizationKernel,
+                                             FactorizationKernelModel,
+                                             MACExtension)
+
+        row = get_runner("fact_kernel")({"kernel": "lu", "k": 128, "nr": 4,
+                                         "sfu": "diag",
+                                         "mac_extension": "comparator"})
+        model = FactorizationKernelModel(nr=4)
+        res = model.evaluate(FactorizationKernel.LU, 128, SFUPlacement.DIAGONAL,
+                             MACExtension.COMPARATOR)
+        core_area = 16 * build_pe(Precision.DOUBLE, 1.0, 16.0).area_mm2
+        eff = model.efficiency(res, core_area)
+        assert row["cycles"] == pytest.approx(res.cycles)
+        assert row["core_area_mm2"] == pytest.approx(core_area)
+        assert row["gflops_per_w"] == pytest.approx(eff.gflops_per_watt)
+        assert row["gflops_per_mm2"] == pytest.approx(eff.gflops_per_mm2)
+
+    def test_extension_helps_vector_norm(self):
+        runner = get_runner("fact_kernel")
+        base = runner({"kernel": "vnorm", "k": 256, "mac_extension": "none"})
+        extended = runner({"kernel": "vnorm", "k": 256,
+                           "mac_extension": "exponent"})
+        assert extended["cycles"] < base["cycles"]
+
+
+# ------------------------------------------------------- simulator runners
+class TestLapRuntimeRunner:
+    def test_gemm_row_is_verified_and_balanced(self):
+        row = get_runner("lap_runtime")({"algorithm": "gemm", "n": 16,
+                                         "tile": 8, "num_cores": 2, "nr": 4,
+                                         "seed": 3})
+        assert row["tasks_executed"] == 8
+        assert row["residual"] < 1e-9
+        assert 0.0 < row["parallel_efficiency"] <= 1.0
+        assert row["makespan_cycles"] >= row["max_core_busy_cycles"]
+        assert row["static_load_balance"] == pytest.approx(1.0)
+
+    def test_cholesky_row_is_verified(self):
+        row = get_runner("lap_runtime")({"algorithm": "cholesky", "n": 12,
+                                         "tile": 4, "num_cores": 2, "nr": 4,
+                                         "seed": 3})
+        assert row["tasks_executed"] == 10
+        assert row["residual"] < 1e-6
+        # The static GEMM panel distribution does not describe a
+        # factorization's task graph, so the metric must be null here.
+        assert row["static_load_balance"] is None
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ValueError, match="lap_runtime algorithm"):
+            get_runner("lap_runtime")({"algorithm": "qr"})
+
+    def test_is_deterministic(self):
+        params = {"algorithm": "gemm", "n": 16, "tile": 8, "num_cores": 2,
+                  "seed": 11}
+        runner = get_runner("lap_runtime")
+        assert runner(dict(params)) == runner(dict(params))
+
+
+class TestBlockedFactRunner:
+    @pytest.mark.parametrize("method", ["cholesky", "lu", "qr"])
+    def test_factorization_is_verified(self, method):
+        row = get_runner("blocked_fact")({"method": method, "n": 8, "nr": 4,
+                                          "seed": 1})
+        assert row["residual"] < 1e-8
+        assert row["cycles"] > 0
+        assert row["model_panel_cycles"] > 0
+        assert 0.0 < row["utilization"] <= 1.0
+
+    def test_comparator_extension_saves_lu_cycles(self):
+        runner = get_runner("blocked_fact")
+        with_ext = runner({"method": "lu", "n": 8, "seed": 0,
+                           "use_extension": True})
+        without = runner({"method": "lu", "n": 8, "seed": 0,
+                          "use_extension": False})
+        assert with_ext["cycles"] < without["cycles"]
+        assert with_ext["residual"] < 1e-9 and without["residual"] < 1e-9
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="blocked_fact method"):
+            get_runner("blocked_fact")({"method": "svd"})
+
+
+# ---------------------------------------------------- executor round-trips
+def _new_runner_jobs():
+    """A mixed job list touching both new simulator runner families."""
+    jobs = (SweepSpec()
+            .constants(tile=8, num_cores=2, nr=4, seed=0)
+            .grid(algorithm=("gemm",), n=(16, 24))
+            .jobs("lap_runtime"))
+    jobs += (SweepSpec()
+             .constants(algorithm="cholesky", tile=4, num_cores=2, nr=4, seed=0)
+             .grid(n=(8, 12))
+             .jobs("lap_runtime"))
+    jobs += (SweepSpec()
+             .constants(nr=4, seed=0)
+             .grid(method=("cholesky", "lu", "qr"), n=(8,))
+             .jobs("blocked_fact"))
+    return jobs
+
+
+def test_serial_thread_and_process_rows_identical():
+    """Acceptance: new runner families round-trip through every executor."""
+    jobs = _new_runner_jobs()
+    serial = execute_jobs(jobs, mode="serial")
+    thread = execute_jobs(jobs, mode="thread", max_workers=4, batch_size=2)
+    process = execute_jobs(jobs, mode="process", max_workers=2, batch_size=2)
+    assert json.dumps(serial.rows, sort_keys=True) == \
+        json.dumps(thread.rows, sort_keys=True)
+    assert json.dumps(serial.rows, sort_keys=True) == \
+        json.dumps(process.rows, sort_keys=True)
+
+
+def test_new_runners_cache_roundtrip(tmp_path):
+    from repro.engine.cache import ResultCache
+
+    jobs = _new_runner_jobs()
+    cache = ResultCache(tmp_path, code_version="v1")
+    cold = execute_jobs(jobs, mode="serial", cache=cache)
+    warm = execute_jobs(jobs, mode="serial", cache=cache)
+    assert cold.executed == len(jobs)
+    assert warm.executed == 0 and warm.cached == len(jobs)
+    assert json.dumps(cold.rows) == json.dumps(warm.rows)
+
+
+def test_auto_mode_picks_pool_for_new_heavy_runners():
+    from repro.engine.executor import SweepExecutor
+
+    jobs = [Job.create("lap_runtime", {"algorithm": "gemm", "n": 16, "tile": 8,
+                                       "num_cores": 2, "seed": s})
+            for s in range(3)]
+    executor = SweepExecutor(mode="auto")
+    mode = executor._resolve_mode([(i, j) for i, j in enumerate(jobs)], workers=4)
+    assert mode == "process"
