@@ -73,21 +73,31 @@ def evaluate_designs(rows: list, frequency: float, local_store_kbytes: float,
 def verify_runtime_and_factorizations(mode: str, cache_dir: str) -> list:
     """Cross-check the chosen design with the cycle-level schedulers.
 
-    Runs small blocked GEMM/Cholesky task graphs through the LAP runtime
-    (sweeping core counts) and the three blocked factorizations on the LAC
-    simulator; every row carries a ``residual`` against the numpy
-    reference, so the analytical sweep above is backed by verified
-    executions.
+    Runs blocked GEMM task graphs through the LAP runtime (sweeping core
+    counts), the Cholesky/LU/QR tile graphs under every scheduling policy,
+    and the three blocked factorizations on the LAC simulator; every row
+    carries a ``residual`` against the numpy reference, so the analytical
+    sweep above is backed by verified executions.
     """
     runtime_jobs = (SweepSpec()
                     .constants(tile=8, nr=4, n=16, seed=0)
                     .grid(algorithm=("gemm",), num_cores=(1, 2, 4))
                     .jobs("lap_runtime"))
+    # Every factorization workload of the task-graph runtime under every
+    # scheduling policy (memoized timing: one functional warm-up per tile
+    # kernel shape, the rest is pure scheduling).
+    policy_jobs = (SweepSpec()
+                   .constants(tile=8, nr=4, n=16, seed=0, num_cores=2,
+                              timing="memoized")
+                   .grid(algorithm=("cholesky", "lu", "qr"),
+                         policy=("greedy", "critical_path", "locality"))
+                   .jobs("lap_runtime"))
     fact_jobs = (SweepSpec()
                  .constants(nr=4, n=8, seed=0)
                  .grid(method=("cholesky", "lu", "qr"))
                  .jobs("blocked_fact"))
-    result = sweep(runtime_jobs + fact_jobs, mode=mode, cache_dir=cache_dir)
+    result = sweep(runtime_jobs + policy_jobs + fact_jobs, mode=mode,
+                   cache_dir=cache_dir)
     print(f"   engine: {result.summary()}")
     rows = []
     for row in result.rows[:len(runtime_jobs)]:
@@ -95,7 +105,12 @@ def verify_runtime_and_factorizations(mode: str, cache_dir: str) -> list:
                      "cycles": row["makespan_cycles"],
                      "efficiency_pct": round(100 * row["parallel_efficiency"], 1),
                      "residual": f"{row['residual']:.1e}"})
-    for row in result.rows[len(runtime_jobs):]:
+    for row in result.rows[len(runtime_jobs):len(runtime_jobs) + len(policy_jobs)]:
+        rows.append({"what": f"{row['algorithm']} graph, {row['policy']} policy",
+                     "cycles": row["makespan_cycles"],
+                     "efficiency_pct": round(100 * row["parallel_efficiency"], 1),
+                     "residual": f"{row['residual']:.1e}"})
+    for row in result.rows[len(runtime_jobs) + len(policy_jobs):]:
         rows.append({"what": f"blocked {row['method']}",
                      "cycles": row["cycles"],
                      "efficiency_pct": round(100 * row["utilization"], 1),

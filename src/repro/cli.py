@@ -16,7 +16,11 @@ Provides five sub-commands:
     expand a declarative design-space sweep, run it through the parallel,
     cached sweep engine and report the Pareto frontier
     (``python -m repro.cli sweep --runner design --grid cores=4,8,16
-    --grid nr=2,4,8``).
+    --grid nr=2,4,8``).  The ``lap_runtime`` runner additionally sweeps the
+    task-graph runtime's scheduling policies and timing models
+    (``... sweep --runner lap_runtime --set algorithm=qr
+    --set timing=memoized --grid policy=greedy,critical_path,locality
+    --grid num_cores=2,4``).
 ``cache``
     inspect and manage the on-disk sweep result cache
     (``python -m repro.cli cache stats`` / ``... cache prune --max-mb 64``

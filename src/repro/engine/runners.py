@@ -26,8 +26,9 @@ code path the paper figures sweep:
     the analytical factorization inner-kernel cycle/energy model across
     SFU placements and MAC extensions (Figs. 6.6/6.7, A.3-A.8),
 ``lap_runtime``
-    a blocked GEMM or Cholesky task graph scheduled by the LAP runtime onto
-    the cycle-level multi-core simulator (block sizes x core counts),
+    a blocked GEMM / Cholesky / LU / QR task graph scheduled by the LAP
+    runtime onto the cycle-level multi-core simulator (block sizes x core
+    counts x scheduling policies x timing models),
 ``blocked_fact``
     a full blocked Cholesky/LU/QR factorization on the cycle-level LAC
     simulator, cross-checked against the analytical panel model,
@@ -57,7 +58,7 @@ RUNNER_VERSIONS: Dict[str, int] = {
     "core_gemm": 1,
     "blas": 1,
     "fact_kernel": 1,
-    "lap_runtime": 1,
+    "lap_runtime": 2,
     "blocked_fact": 1,
     "experiment": 1,
 }
@@ -84,7 +85,8 @@ KNOWN_PARAMS: Dict[str, frozenset] = {
     "fact_kernel": frozenset({"kernel", "k", "nr", "sfu", "mac_extension",
                               "precision", "frequency_ghz", "local_store_kbytes"}),
     "lap_runtime": frozenset({"algorithm", "n", "tile", "num_cores", "nr",
-                              "onchip_mbytes", "seed"}),
+                              "onchip_mbytes", "seed", "policy", "timing",
+                              "verify", "core_frequencies_ghz"}),
     "blocked_fact": frozenset({"method", "n", "nr", "seed", "use_extension",
                                "frequency_ghz"}),
     "experiment": frozenset({"exp_id"}),
@@ -367,40 +369,70 @@ def run_lap_runtime(params: Params) -> dict:
     """Schedule one blocked algorithm through the LAP runtime simulator.
 
     Decomposes an ``n x n`` problem into ``tile x tile`` tasks with the
-    algorithms-by-blocks library, executes the task graph on the cores of a
-    cycle-level LAP and reports makespan / load-balance / correctness.
+    algorithms-by-blocks library (GEMM, Cholesky, tiled LU or tiled QR),
+    executes the task graph on the cores of a cycle-level LAP under the
+    requested scheduling policy and timing model, and reports makespan /
+    load-balance / graph analytics / correctness.
+
+    ``policy`` selects the scheduler (greedy / critical_path / locality),
+    ``timing`` the timing model (functional / memoized), ``verify`` keeps
+    the tile data exact under memoized timing (residual available), and
+    ``core_frequencies_ghz`` accepts per-core clocks for heterogeneous-tile
+    studies: a sequence, a single number (applied to every core), or a
+    delimited string -- ``"1.0,2.0"`` or ``"1.0:2.0"`` (the colon form
+    survives the sweep CLI's comma-separated axis syntax, e.g.
+    ``--set core_frequencies_ghz=1.0:2.0``).
     """
     import numpy as np
 
     from repro.lap.chip import LAPConfig, LinearAlgebraProcessor
     from repro.lap.runtime import LAPRuntime
     from repro.lap.scheduler import GEMMScheduler
+    from repro.lap.taskgraph import AlgorithmsByBlocks
 
     algorithm = str(params.get("algorithm", "gemm")).lower()
+    if algorithm not in AlgorithmsByBlocks.WORKLOADS:
+        raise ValueError(f"unknown lap_runtime algorithm '{algorithm}' "
+                         f"(use one of {', '.join(AlgorithmsByBlocks.WORKLOADS)})")
     n = int(params.get("n", 16))
     tile = int(params.get("tile", 8))
     num_cores = int(params.get("num_cores", 2))
     nr = int(params.get("nr", 4))
     onchip_mbytes = float(params.get("onchip_mbytes", 1.0))
     seed = int(params.get("seed", 0))
+    policy = str(params.get("policy", "greedy"))
+    timing = str(params.get("timing", "functional"))
+    verify = bool(params.get("verify", True))
+    frequencies_param = params.get("core_frequencies_ghz")
+    if frequencies_param is None:
+        frequencies = None
+    elif isinstance(frequencies_param, str):
+        parts = [p for p in frequencies_param.replace(":", ",").split(",")
+                 if p.strip()]
+        frequencies = [float(p) for p in parts]
+        if len(frequencies) == 1:
+            frequencies = frequencies * num_cores
+    elif isinstance(frequencies_param, (list, tuple)):
+        frequencies = [float(f) for f in frequencies_param]
+    else:
+        frequencies = [float(frequencies_param)] * num_cores
     lap = LinearAlgebraProcessor(LAPConfig(num_cores=num_cores, nr=nr,
                                            onchip_memory_mbytes=onchip_mbytes))
-    runtime = LAPRuntime(lap, tile)
+    runtime = LAPRuntime(lap, tile, policy=policy, timing=timing,
+                         core_frequencies_ghz=frequencies)
     rng = np.random.default_rng(seed)
+    stats = runtime.run_workload(algorithm, n, rng, verify=verify)
     if algorithm == "gemm":
-        stats = runtime.run_blocked_gemm(n, rng)
         # The panel-blocking scheduler's static distribution only describes
         # GEMM row panels; a factorization's shrinking trailing matrix has
-        # no such static assignment, so the metric is null for cholesky.
+        # no such static assignment, so the metric is null otherwise.
         scheduler = GEMMScheduler(num_cores=num_cores, nr=nr)
         static_balance = float(scheduler.load_balance(scheduler.assign_panels(n, tile)))
-    elif algorithm == "cholesky":
-        stats = runtime.run_blocked_cholesky(n, rng)
-        static_balance = None
     else:
-        raise ValueError(f"unknown lap_runtime algorithm '{algorithm}' "
-                         f"(use 'gemm' or 'cholesky')")
+        static_balance = None
     busy = stats["per_core_busy_cycles"]
+    graph = stats["graph"]
+    residual = stats["residual"]
     return {
         "algorithm": algorithm,
         "n": n,
@@ -408,14 +440,23 @@ def run_lap_runtime(params: Params) -> dict:
         "num_cores": num_cores,
         "nr": nr,
         "seed": seed,
+        "policy": policy,
+        "timing": timing,
+        "verify": verify,
+        "core_frequencies_ghz": (",".join(f"{f:g}" for f in frequencies)
+                                 if frequencies else None),
         "tasks_executed": int(stats["tasks_executed"]),
-        "makespan_cycles": int(stats["makespan_cycles"]),
+        "critical_path_tasks": int(graph["critical_path_tasks"]),
+        "graph_width": int(graph["width"]),
+        "graph_levels": int(graph["num_levels"]),
+        "makespan_cycles": int(round(stats["makespan_cycles"])),
+        "makespan_ns": float(stats["makespan_ns"]),
         "total_busy_cycles": int(sum(busy)),
         "max_core_busy_cycles": int(max(busy)),
         "min_core_busy_cycles": int(min(busy)),
         "parallel_efficiency": float(stats["parallel_efficiency"]),
         "static_load_balance": static_balance,
-        "residual": float(stats["residual"]),
+        "residual": None if residual is None else float(residual),
     }
 
 

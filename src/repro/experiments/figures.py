@@ -421,3 +421,42 @@ def fig_b_5_to_b_7_fft_requirements() -> List[Dict]:
         "problem": "64K 1D FFT",
     })
     return rows
+
+
+# ------------------------------------------------- Runtime policy comparison
+def runtime_policy_comparison(sizes: Sequence[int] = (32, 64),
+                              core_counts: Sequence[int] = (1, 2, 4),
+                              tile: int = 8) -> List[Dict]:
+    """Makespan and parallel efficiency vs scheduling policy x cores x size.
+
+    Schedules blocked Cholesky task graphs through the LAP runtime under
+    every scheduling policy (greedy earliest-core, critical-path priority,
+    locality-aware), with memoized timing so the sweep scales to larger
+    graphs; the ``speedup_vs_greedy`` column quantifies what a smarter
+    policy buys at each design point.  Expands through :mod:`repro.engine`
+    like every other multi-point figure (cached, parallel).
+    """
+    from repro.lap.policies import policy_names
+
+    spec = (SweepSpec()
+            .constants(algorithm="cholesky", tile=tile, nr=4, seed=0,
+                       timing="memoized", verify=False)
+            .grid(policy=tuple(policy_names()),
+                  num_cores=tuple(core_counts),
+                  n=tuple(sizes)))
+    result = sweep(spec.jobs("lap_runtime"), **_engine_kwargs())
+    greedy_makespan = {(row["n"], row["num_cores"]): row["makespan_cycles"]
+                       for row in result.rows if row["policy"] == "greedy"}
+    return [{
+        "policy": row["policy"],
+        "n": int(row["n"]),
+        "num_cores": int(row["num_cores"]),
+        "tile": int(row["tile"]),
+        "tasks": int(row["tasks_executed"]),
+        "critical_path_tasks": int(row["critical_path_tasks"]),
+        "graph_width": int(row["graph_width"]),
+        "makespan_cycles": int(row["makespan_cycles"]),
+        "parallel_efficiency": row["parallel_efficiency"],
+        "speedup_vs_greedy": (greedy_makespan[(row["n"], row["num_cores"])]
+                              / row["makespan_cycles"]),
+    } for row in result.rows]

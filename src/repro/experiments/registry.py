@@ -158,6 +158,12 @@ _register("table_b_3", "table", "App. B.4",
           "Dedicated LAC / dedicated FFT / hybrid PE designs",
           tables.table_b_3_pe_designs)
 
+# ---------------------------------------------------------- runtime sweeps
+_register("runtime_policies", "figure", "Ch. 5 programming env.",
+          "LAP-runtime makespan/efficiency vs scheduling policy x cores x size",
+          figures.runtime_policy_comparison)
+
+
 # ------------------------------------------------------- methodology extras
 def _scaled_provenance() -> List[Dict]:
     from repro.arch.scaling import scaled_comparison_rows

@@ -17,7 +17,7 @@ trailing columns with a matrix-vector product and a rank-1 update.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -174,3 +174,54 @@ def lac_householder_qr_panel(core: LinearAlgebraCore, a_panel: np.ndarray,
     delta = counters_delta(core.counters, start)
     return KernelResult(name="qr_panel", output=a, counters=delta, num_pes=core.num_pes,
                         extra={"tau": taus})
+
+
+def lac_apply_reflectors(core: LinearAlgebraCore, v: np.ndarray,
+                         taus: Sequence[float], c: np.ndarray) -> KernelResult:
+    """Apply ``Q^T = H_{p-1} ... H_0`` of a packed reflector block to ``C``.
+
+    ``v`` is ``m x p`` with the essential parts of reflector ``j`` stored
+    below its diagonal (unit head implied, entries above ignored) and ``c``
+    is ``m x q``.  Reflector ``j`` is applied as ``w = (u^T C)/tau`` followed
+    by the rank-1 update ``C -= u w^T`` -- a matrix-vector product plus a
+    rank-1 update through the MAC mesh, exactly like the trailing update
+    inside :func:`lac_householder_qr_panel`.  This is the UNMQR/TSMQR tile
+    kernel of the tiled-QR runtime.
+    """
+    start = core.counters.copy()
+    v = np.asarray(v, dtype=float)
+    c = np.array(c, dtype=float, copy=True)
+    nr = core.nr
+    p = core.mac_latency
+    if v.ndim != 2 or c.ndim != 2:
+        raise ValueError("reflector block and C must be 2-D")
+    m, num_reflectors = v.shape
+    if c.shape[0] != m:
+        raise ValueError(f"C must have {m} rows to match the reflectors, "
+                         f"got {c.shape[0]}")
+    if len(taus) != num_reflectors:
+        raise ValueError(f"expected {num_reflectors} tau scalars, got {len(taus)}")
+
+    q = c.shape[1]
+    for j in range(num_reflectors):
+        tau = taus[j]
+        if not np.isfinite(tau):
+            continue
+        u = np.concatenate(([1.0], v[j + 1:, j]))
+        rows = m - j
+        w = np.zeros(q, dtype=float)
+        for col in range(q):
+            acc = 0.0
+            for r in range(rows):
+                acc = core.pes[r % nr][col % nr].multiply_add(u[r], c[j + r, col], acc)
+            w[col] = acc / tau
+        core.tick(int(np.ceil(rows * q / float(nr * nr))) + p)
+        for r in range(rows):
+            for col in range(q):
+                c[j + r, col] = core.pes[r % nr][col % nr].multiply_add(
+                    -u[r], w[col], c[j + r, col])
+        core.tick(int(np.ceil(rows * q / float(nr * nr))) + p)
+
+    delta = counters_delta(core.counters, start)
+    return KernelResult(name="apply_reflectors", output=c, counters=delta,
+                        num_pes=core.num_pes)

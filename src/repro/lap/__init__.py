@@ -16,7 +16,13 @@ off-chip memory interface.  This subpackage provides:
 from repro.lap.chip import LinearAlgebraProcessor, LAPConfig
 from repro.lap.scheduler import GEMMScheduler, PanelAssignment
 from repro.lap.offchip import OffChipTrafficModel
-from repro.lap.runtime import AlgorithmsByBlocks, LAPRuntime, TaskDescriptor, TaskKind
+from repro.lap.taskgraph import (AlgorithmsByBlocks, TaskDescriptor, TaskGraph,
+                                 TaskKind)
+from repro.lap.policies import (POLICIES, SchedulerPolicy, get_policy,
+                                policy_names)
+from repro.lap.timing import (TIMING_MODELS, FunctionalTiming, MemoizedTiming,
+                              TimingModel, get_timing_model, timing_names)
+from repro.lap.runtime import LAPRuntime, TaskExecution
 
 __all__ = [
     "LinearAlgebraProcessor",
@@ -27,5 +33,17 @@ __all__ = [
     "AlgorithmsByBlocks",
     "LAPRuntime",
     "TaskDescriptor",
+    "TaskExecution",
+    "TaskGraph",
     "TaskKind",
+    "SchedulerPolicy",
+    "POLICIES",
+    "get_policy",
+    "policy_names",
+    "TimingModel",
+    "FunctionalTiming",
+    "MemoizedTiming",
+    "TIMING_MODELS",
+    "get_timing_model",
+    "timing_names",
 ]

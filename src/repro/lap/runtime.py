@@ -1,4 +1,4 @@
-"""Host-side programming model for the LAP.
+"""Host-side programming model for the LAP: the layered task-graph runtime.
 
 The dissertation's programming environment (Figure 1.2) layers a standard
 linear-algebra library on top of the accelerator: the host library breaks a
@@ -8,181 +8,143 @@ interface (operation code + operand locations), and the LAP raises an
 interrupt when the result block is ready.  Invocation is coarse-grained and
 asynchronous so that the host stays busy.
 
-This module models that software stack:
+The runtime is layered (TaskGraph -> Scheduler -> TimingModel -> LAP):
 
-* :class:`TaskDescriptor` -- one atomic operation handed to the accelerator
-  (the "command packet" of the driver interface);
-* :class:`AlgorithmsByBlocks` -- the host-library layer that decomposes a
-  large GEMM or Cholesky factorization into a dependency-ordered list of
-  tile tasks;
-* :class:`LAPRuntime` -- the driver/dispatcher that executes tasks on the
-  cores of a :class:`repro.lap.chip.LinearAlgebraProcessor`, tracking
-  per-core busy time so that the effect of task-level parallelism and load
-  imbalance can be observed.
+* :mod:`repro.lap.taskgraph` -- the IR: :class:`TaskKind`,
+  :class:`TaskDescriptor`, :class:`TaskGraph` and the
+  :class:`AlgorithmsByBlocks` decompositions (GEMM, Cholesky, LU, tiled QR);
+* :mod:`repro.lap.policies` -- pluggable scheduling policies (greedy
+  earliest-core, critical-path priority, locality-aware) driving an
+  event-driven ready-heap loop (O(V log V + E) instead of the old O(V^2)
+  rescan);
+* :mod:`repro.lap.timing` -- timing models: ``functional`` executes every
+  task on the cycle-level simulator, ``memoized`` caches per-(kind, shape,
+  precision) cycle counts after one functional run so that large graphs
+  schedule in seconds;
+* :class:`LAPRuntime` (this module) -- the driver/dispatcher that binds the
+  three to the cores of a :class:`repro.lap.chip.LinearAlgebraProcessor`,
+  optionally with heterogeneous per-core clock frequencies.
+
+``AlgorithmsByBlocks``, ``TaskDescriptor`` and ``TaskKind`` are re-exported
+here for backwards compatibility with pre-refactor imports.
 """
 
 from __future__ import annotations
 
-import enum
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.kernels.blocked_factorizations import lac_lu_blocked, lac_qr_blocked
 from repro.kernels.cholesky import lac_cholesky
 from repro.kernels.gemm import lac_gemm
+from repro.kernels.qr import lac_apply_reflectors
 from repro.kernels.syrk import lac_syrk
 from repro.kernels.trsm import lac_trsm
 from repro.lap.chip import LinearAlgebraProcessor
+from repro.lap.policies import SchedulerPolicy, get_policy
+from repro.lap.taskgraph import (AlgorithmsByBlocks, TaskDescriptor, TaskGraph,
+                                 TaskKind)
+from repro.lap.timing import TimingModel, get_timing_model, task_signature
+from repro.reference.factorizations import (ref_apply_reflectors,
+                                            ref_householder_qr_factored,
+                                            ref_lu_nopivot)
 
-
-class TaskKind(enum.Enum):
-    """Atomic operations the LAP accepts from the host."""
-
-    GEMM = "gemm"                  #: C_tile += alpha * A_tile @ op(B_tile)
-    SYRK = "syrk"                  #: C_tile += alpha * A_tile @ A_tile^T (lower)
-    TRSM = "trsm"                  #: B_tile := L_tile^{-1} B_tile
-    TRSM_RIGHT_T = "trsm_rt"       #: B_tile := B_tile @ L_tile^{-T}
-    CHOLESKY = "chol"              #: A_tile := chol(A_tile)
-
-
-@dataclass
-class TaskDescriptor:
-    """One atomic tile operation (the command-packet abstraction).
-
-    ``inputs`` and ``output`` are tile coordinates ``(block_row, block_col)``
-    into the blocked operand; ``depends_on`` lists task ids that must complete
-    first (the host library serialises dependent tiles, everything else may
-    run on any idle core).  ``alpha`` scales the product of update tasks
-    (``-1`` for the trailing updates of a factorization) and ``transpose_b``
-    requests the second operand transposed, which the LAC performs over its
-    diagonal PEs at no extra bandwidth cost.
-    """
-
-    task_id: int
-    kind: TaskKind
-    output: Tuple[int, int]
-    inputs: List[Tuple[int, int]] = field(default_factory=list)
-    depends_on: List[int] = field(default_factory=list)
-    alpha: float = 1.0
-    transpose_b: bool = False
-
-    def __post_init__(self) -> None:
-        if self.task_id < 0:
-            raise ValueError("task ids must be non-negative")
-
-
-class AlgorithmsByBlocks:
-    """Host-library decomposition of large problems into tile task graphs."""
-
-    def __init__(self, tile: int):
-        if tile < 4:
-            raise ValueError("tile size must be at least the core dimension")
-        self.tile = tile
-        self._ids = itertools.count()
-
-    def _next_id(self) -> int:
-        return next(self._ids)
-
-    def gemm_tasks(self, m: int, n: int, k: int) -> List[TaskDescriptor]:
-        """Task list for C += A B with independent C tiles.
-
-        Tiles of C are independent of each other; the ``k`` accumulation for a
-        given C tile is expressed as a chain of dependent GEMM tasks so that
-        the accumulator tile is never written concurrently.
-        """
-        t = self.tile
-        self._check_blocking(m, n, k)
-        tasks: List[TaskDescriptor] = []
-        for bi in range(m // t):
-            for bj in range(n // t):
-                previous: Optional[int] = None
-                for bk in range(k // t):
-                    task = TaskDescriptor(
-                        task_id=self._next_id(), kind=TaskKind.GEMM,
-                        output=(bi, bj), inputs=[(bi, bk), (bk, bj)],
-                        depends_on=[previous] if previous is not None else [])
-                    tasks.append(task)
-                    previous = task.task_id
-        return tasks
-
-    def cholesky_tasks(self, n: int) -> List[TaskDescriptor]:
-        """Task list for a right-looking blocked Cholesky factorization.
-
-        The classic dependency pattern: CHOL(j,j) -> TRSM(i,j) for i>j ->
-        SYRK/GEMM updates of the trailing tiles.
-        """
-        t = self.tile
-        if n % t != 0:
-            raise ValueError("matrix size must be a multiple of the tile size")
-        nb = n // t
-        tasks: List[TaskDescriptor] = []
-        # written[(i, j)] is the id of the last task that wrote tile (i, j).
-        written: Dict[Tuple[int, int], int] = {}
-        for j in range(nb):
-            chol = TaskDescriptor(self._next_id(), TaskKind.CHOLESKY, output=(j, j),
-                                  inputs=[(j, j)],
-                                  depends_on=[written[(j, j)]] if (j, j) in written else [])
-            tasks.append(chol)
-            written[(j, j)] = chol.task_id
-            for i in range(j + 1, nb):
-                deps = [chol.task_id]
-                if (i, j) in written:
-                    deps.append(written[(i, j)])
-                trsm = TaskDescriptor(self._next_id(), TaskKind.TRSM_RIGHT_T, output=(i, j),
-                                      inputs=[(j, j), (i, j)], depends_on=deps)
-                tasks.append(trsm)
-                written[(i, j)] = trsm.task_id
-            for i in range(j + 1, nb):
-                for k in range(j + 1, i + 1):
-                    deps = [written[(i, j)], written[(k, j)]]
-                    if (i, k) in written:
-                        deps.append(written[(i, k)])
-                    kind = TaskKind.SYRK if i == k else TaskKind.GEMM
-                    update = TaskDescriptor(self._next_id(), kind, output=(i, k),
-                                            inputs=[(i, j), (k, j)],
-                                            depends_on=sorted(set(deps)),
-                                            alpha=-1.0, transpose_b=True)
-                    tasks.append(update)
-                    written[(i, k)] = update.task_id
-        return tasks
-
-    def _check_blocking(self, *dims: int) -> None:
-        for d in dims:
-            if d % self.tile != 0:
-                raise ValueError(f"dimension {d} is not a multiple of the tile size {self.tile}")
+__all__ = [
+    "AlgorithmsByBlocks", "LAPRuntime", "TaskDescriptor", "TaskExecution",
+    "TaskGraph", "TaskKind",
+]
 
 
 @dataclass
 class TaskExecution:
-    """Record of one executed task (which core ran it, and when)."""
+    """Record of one executed task (which core ran it, and when).
+
+    Times are in cycles of the reference clock (the chip frequency); with
+    homogeneous cores they are exact integers.
+    """
 
     task_id: int
     kind: TaskKind
     core_index: int
-    start_cycle: int
-    end_cycle: int
+    start_cycle: float
+    end_cycle: float
 
     @property
-    def cycles(self) -> int:
+    def cycles(self) -> float:
         return self.end_cycle - self.start_cycle
+
+
+class _ExecutionContext:
+    """What a :class:`TimingModel` may do with a scheduled task.
+
+    Bound to one ``execute()`` call; ``core_index`` is set by the scheduler
+    loop before each task is timed.
+    """
+
+    def __init__(self, runtime: "LAPRuntime", tiles: Dict):
+        self._runtime = runtime
+        self._tiles = tiles
+        self.core_index = 0
+        self.precision = runtime.lap.config.precision.value
+
+    def functional(self, task: TaskDescriptor) -> int:
+        """Run the task on the assigned core's simulator; returns cycles."""
+        return self._runtime._run_task(task, self.core_index, self._tiles)
+
+    def reference(self, task: TaskDescriptor) -> None:
+        """Apply the task's NumPy reference update to the tiles (no cycles)."""
+        self._runtime._run_task_reference(task, self._tiles)
+
+    def signature(self, task: TaskDescriptor):
+        """Memoization signature of the task (kind, shapes, precision, ...)."""
+        return task_signature(task, self._runtime._task_shapes(task, self._tiles),
+                              self.precision)
 
 
 class LAPRuntime:
     """Dispatches tile tasks onto the cores of a LAP.
 
-    A simple list scheduler: tasks become ready when all their dependencies
-    have completed; a ready task is assigned to the earliest-available core.
-    Execution of each task is *functional* (the tile data is updated through
-    the LAC simulator) and the per-task cycle counts come from the simulator's
-    counters, so the resulting makespan reflects real kernel costs.
+    Parameters
+    ----------
+    lap:
+        The chip the task graphs run on.
+    tile:
+        Edge length of one square tile (a multiple of the core dimension).
+    policy:
+        Scheduling policy name or instance (see :mod:`repro.lap.policies`).
+    timing:
+        Timing model name or instance (see :mod:`repro.lap.timing`).
+    core_frequencies_ghz:
+        Optional per-core clock frequencies for heterogeneous-tile studies;
+        defaults to the homogeneous chip frequency.  Scheduling then happens
+        in reference-clock cycles (task cycles are scaled by
+        ``f_ref / f_core``), where the reference clock is the chip frequency.
     """
 
-    def __init__(self, lap: LinearAlgebraProcessor, tile: int):
+    def __init__(self, lap: LinearAlgebraProcessor, tile: int,
+                 policy: Union[str, SchedulerPolicy, None] = "greedy",
+                 timing: Union[str, TimingModel, None] = "functional",
+                 core_frequencies_ghz: Optional[Sequence[float]] = None):
         self.lap = lap
         self.tile = tile
-        self.library = AlgorithmsByBlocks(tile)
+        self.library = AlgorithmsByBlocks(tile, nr=lap.config.nr)
+        self.policy = get_policy(policy)
+        self.timing = get_timing_model(timing)
+        reference = lap.config.frequency_ghz
+        if core_frequencies_ghz is None:
+            frequencies = [reference] * len(lap.cores)
+        else:
+            frequencies = [float(f) for f in core_frequencies_ghz]
+            if len(frequencies) != len(lap.cores):
+                raise ValueError(f"core_frequencies_ghz has {len(frequencies)} "
+                                 f"entries for {len(lap.cores)} cores")
+            if min(frequencies) <= 0:
+                raise ValueError("core frequencies must be positive")
+        self.core_frequencies_ghz = frequencies
+        self._homogeneous = all(f == reference for f in frequencies)
         self.executions: List[TaskExecution] = []
 
     # ------------------------------------------------------------ execution
@@ -190,6 +152,7 @@ class LAPRuntime:
         """Execute one task on one core; returns the cycles it consumed."""
         core = self.lap.cores[core_index]
         before = core.counters.cycles
+        t = self.tile
         if task.kind is TaskKind.GEMM:
             (ci, cj), (ai, ak), (bk, bj) = task.output, task.inputs[0], task.inputs[1]
             b_tile = tiles["B"][(bk, bj)]
@@ -221,62 +184,272 @@ class LAPRuntime:
             l_tile = np.tril(tiles["L"][(li, lj)])
             result = lac_trsm(core, l_tile, tiles["B"][(bi, bj)].T)
             tiles["B"][(bi, bj)] = result.output.T
+        elif task.kind is TaskKind.TRSM_LOWER:
+            # B := unit_lower(L)^{-1} B (the U panels of a tiled LU).
+            (bi, bj) = task.output
+            (li, lj) = task.inputs[0]
+            unit_lower = np.tril(tiles["L"][(li, lj)], -1) + np.eye(t)
+            result = lac_trsm(core, unit_lower, tiles["B"][(bi, bj)])
+            tiles["B"][(bi, bj)] = result.output
+        elif task.kind is TaskKind.TRSM_UPPER_RIGHT:
+            # B := B U^{-1}  <=>  solve U^T X^T = B^T (U^T is lower triangular).
+            (bi, bj) = task.output
+            (li, lj) = task.inputs[0]
+            upper = np.triu(tiles["L"][(li, lj)])
+            result = lac_trsm(core, upper.T, tiles["B"][(bi, bj)].T)
+            tiles["B"][(bi, bj)] = result.output.T
         elif task.kind is TaskKind.CHOLESKY:
             (ai, aj) = task.output
             result = lac_cholesky(core, tiles["A"][(ai, aj)])
             tiles["A"][(ai, aj)] = result.output
+        elif task.kind is TaskKind.LU:
+            (ai, aj) = task.output
+            result = lac_lu_blocked(core, tiles["A"][(ai, aj)])
+            pivots = result.extra["pivots"]
+            if any(p != i for i, p in enumerate(pivots)):
+                raise ValueError(
+                    "tile LU requires no pivoting across tiles; the operand "
+                    "must be (e.g.) diagonally dominant so that every tile "
+                    "pivot falls on the diagonal")
+            tiles["A"][(ai, aj)] = result.output
+        elif task.kind is TaskKind.GEQRT:
+            (ai, aj) = task.output
+            result = lac_qr_blocked(core, tiles["A"][(ai, aj)])
+            tiles["A"][(ai, aj)] = result.output
+            tiles.setdefault("TAU", {})[(ai, aj)] = result.extra["tau"]
+        elif task.kind is TaskKind.TSQRT:
+            # QR of [triu(R_jj); A_ij]: the top half's sub-diagonal stays
+            # exactly zero, so the reflectors live entirely in tile (i, j) and
+            # the GEQRT reflectors packed below the diagonal of (j, j) survive.
+            (jj, ij) = task.inputs[0], task.output
+            stacked = np.vstack([np.triu(tiles["A"][jj]), tiles["A"][ij]])
+            result = lac_qr_blocked(core, stacked)
+            tiles["A"][jj] = np.triu(result.output[:t]) + np.tril(tiles["A"][jj], -1)
+            tiles["A"][ij] = result.output[t:]
+            tiles.setdefault("TAU", {})[ij] = result.extra["tau"]
+        elif task.kind is TaskKind.UNMQR:
+            (jj, jk) = task.inputs[0], task.output
+            result = lac_apply_reflectors(core, tiles["A"][jj],
+                                          tiles["TAU"][jj], tiles["A"][jk])
+            tiles["A"][jk] = result.output
+        elif task.kind is TaskKind.TSMQR:
+            # Apply the TSQRT reflectors to the block-row pair [C_jk; C_ik];
+            # their top halves are unit vectors, so the packed form is a zero
+            # block stacked on the reflector tile.
+            (ij, jk, ik) = task.inputs[0], task.inputs[1], task.inputs[2]
+            v_stacked = np.vstack([np.zeros((t, t)), tiles["A"][ij]])
+            c_stacked = np.vstack([tiles["A"][jk], tiles["A"][ik]])
+            result = lac_apply_reflectors(core, v_stacked, tiles["TAU"][ij],
+                                          c_stacked)
+            tiles["A"][jk] = result.output[:t]
+            tiles["A"][ik] = result.output[t:]
         else:  # pragma: no cover - enum exhaustive
             raise ValueError(f"unknown task kind {task.kind}")
         return core.counters.cycles - before
 
-    def execute(self, tasks: Sequence[TaskDescriptor], tiles: Dict) -> Dict[str, object]:
-        """Run a task graph to completion; returns makespan and per-core busy time.
+    def _run_task_reference(self, task: TaskDescriptor, tiles: Dict) -> None:
+        """NumPy reference update of one task (used by memoized verification).
+
+        Mirrors :meth:`_run_task` numerically (same formulas, vectorised) so
+        that a memoized-timing run with ``verify=True`` still produces exact
+        factors and residuals.
+        """
+        t = self.tile
+        if task.kind is TaskKind.GEMM:
+            (ci, cj), (ai, ak), (bk, bj) = task.output, task.inputs[0], task.inputs[1]
+            b_tile = tiles["B"][(bk, bj)]
+            if task.transpose_b:
+                b_tile = b_tile.T
+            tiles["C"][(ci, cj)] = (tiles["C"][(ci, cj)]
+                                    + (task.alpha * tiles["A"][(ai, ak)]) @ b_tile)
+        elif task.kind is TaskKind.SYRK:
+            (ci, cj) = task.output
+            (ai, aj) = task.inputs[0]
+            a_tile = tiles["A"][(ai, aj)]
+            tiles["C"][(ci, cj)] = (tiles["C"][(ci, cj)]
+                                    + (task.alpha * a_tile) @ a_tile.T)
+        elif task.kind is TaskKind.TRSM:
+            (bi, bj) = task.output
+            (li, lj) = task.inputs[0]
+            tiles["B"][(bi, bj)] = np.linalg.solve(np.tril(tiles["L"][(li, lj)]),
+                                                   tiles["B"][(bi, bj)])
+        elif task.kind is TaskKind.TRSM_RIGHT_T:
+            (bi, bj) = task.output
+            (li, lj) = task.inputs[0]
+            solved = np.linalg.solve(np.tril(tiles["L"][(li, lj)]),
+                                     tiles["B"][(bi, bj)].T)
+            tiles["B"][(bi, bj)] = solved.T
+        elif task.kind is TaskKind.TRSM_LOWER:
+            (bi, bj) = task.output
+            (li, lj) = task.inputs[0]
+            unit_lower = np.tril(tiles["L"][(li, lj)], -1) + np.eye(t)
+            tiles["B"][(bi, bj)] = np.linalg.solve(unit_lower, tiles["B"][(bi, bj)])
+        elif task.kind is TaskKind.TRSM_UPPER_RIGHT:
+            (bi, bj) = task.output
+            (li, lj) = task.inputs[0]
+            upper = np.triu(tiles["L"][(li, lj)])
+            tiles["B"][(bi, bj)] = np.linalg.solve(upper.T, tiles["B"][(bi, bj)].T).T
+        elif task.kind is TaskKind.CHOLESKY:
+            (ai, aj) = task.output
+            tiles["A"][(ai, aj)] = np.linalg.cholesky(tiles["A"][(ai, aj)])
+        elif task.kind is TaskKind.LU:
+            (ai, aj) = task.output
+            tiles["A"][(ai, aj)] = ref_lu_nopivot(tiles["A"][(ai, aj)])
+        elif task.kind is TaskKind.GEQRT:
+            (ai, aj) = task.output
+            factored, taus = ref_householder_qr_factored(tiles["A"][(ai, aj)])
+            tiles["A"][(ai, aj)] = factored
+            tiles.setdefault("TAU", {})[(ai, aj)] = taus
+        elif task.kind is TaskKind.TSQRT:
+            (jj, ij) = task.inputs[0], task.output
+            stacked = np.vstack([np.triu(tiles["A"][jj]), tiles["A"][ij]])
+            factored, taus = ref_householder_qr_factored(stacked)
+            tiles["A"][jj] = np.triu(factored[:t]) + np.tril(tiles["A"][jj], -1)
+            tiles["A"][ij] = factored[t:]
+            tiles.setdefault("TAU", {})[ij] = taus
+        elif task.kind is TaskKind.UNMQR:
+            (jj, jk) = task.inputs[0], task.output
+            tiles["A"][jk] = ref_apply_reflectors(tiles["A"][jj],
+                                                  tiles["TAU"][jj], tiles["A"][jk])
+        elif task.kind is TaskKind.TSMQR:
+            (ij, jk, ik) = task.inputs[0], task.inputs[1], task.inputs[2]
+            v_stacked = np.vstack([np.zeros((t, t)), tiles["A"][ij]])
+            c_stacked = np.vstack([tiles["A"][jk], tiles["A"][ik]])
+            updated = ref_apply_reflectors(v_stacked, tiles["TAU"][ij], c_stacked)
+            tiles["A"][jk] = updated[:t]
+            tiles["A"][ik] = updated[t:]
+        else:  # pragma: no cover - enum exhaustive
+            raise ValueError(f"unknown task kind {task.kind}")
+
+    def _task_shapes(self, task: TaskDescriptor, tiles: Dict) -> Tuple:
+        """Shapes of the tiles a task touches (part of the memoization key)."""
+        kind = task.kind
+        if kind is TaskKind.GEMM:
+            coords = (("C", task.output), ("A", task.inputs[0]), ("B", task.inputs[1]))
+        elif kind is TaskKind.SYRK:
+            coords = (("C", task.output), ("A", task.inputs[0]))
+        elif kind in (TaskKind.TRSM, TaskKind.TRSM_RIGHT_T, TaskKind.TRSM_LOWER,
+                      TaskKind.TRSM_UPPER_RIGHT):
+            coords = (("L", task.inputs[0]), ("B", task.output))
+        elif kind in (TaskKind.CHOLESKY, TaskKind.LU, TaskKind.GEQRT):
+            coords = (("A", task.output),)
+        elif kind in (TaskKind.TSQRT, TaskKind.UNMQR):
+            coords = (("A", task.inputs[0]), ("A", task.output))
+        elif kind is TaskKind.TSMQR:
+            coords = (("A", task.inputs[0]), ("A", task.inputs[1]),
+                      ("A", task.output))
+        else:  # pragma: no cover - enum exhaustive
+            raise ValueError(f"unknown task kind {kind}")
+        return tuple(tiles[operand][coord].shape for operand, coord in coords)
+
+    def execute(self, tasks: Sequence[TaskDescriptor], tiles: Dict,
+                verify: bool = True) -> Dict[str, object]:
+        """Run a task graph to completion; returns makespan and per-core stats.
 
         ``tiles`` maps operand names ("A", "B", "C", "L") to dictionaries of
-        tile arrays keyed by block coordinates; tasks update them in place.
+        tile arrays keyed by block coordinates; tasks update them in place
+        (tiled QR additionally keeps its ``tau`` scalars under ``"TAU"``).
+        ``verify`` only matters under memoized timing: it keeps the tile data
+        numerically exact through reference updates so residual checks remain
+        possible.
+
+        The loop is event driven: a heap of ready tasks ordered by the
+        scheduling policy and a single accumulation pass over per-core busy
+        time -- O(V log V + E) overall.
         """
-        remaining = {t.task_id: t for t in tasks}
-        completed_at: Dict[int, int] = {}
-        core_free_at = [0] * len(self.lap.cores)
+        task_list = list(tasks)
+        by_id: Dict[int, TaskDescriptor] = {}
+        for task in task_list:
+            if task.task_id in by_id:
+                raise ValueError(f"duplicate task id {task.task_id}")
+            by_id[task.task_id] = task
+        successors: Dict[int, List[int]] = {tid: [] for tid in by_id}
+        indegree: Dict[int, int] = {}
+        for task in task_list:
+            deps = set(task.depends_on)
+            indegree[task.task_id] = len(deps)
+            for dep in deps:
+                if dep in successors:
+                    successors[dep].append(task.task_id)
+                # Unknown dependency ids can never complete; the task stays
+                # unscheduled and the deadlock check below reports it.
+
+        self.policy.prepare(tasks if isinstance(tasks, TaskGraph) else task_list)
+        ctx = _ExecutionContext(self, tiles)
+        num_cores = len(self.lap.cores)
+        reference_freq = self.lap.config.frequency_ghz
+        core_free_at: List[float] = [0] * num_cores
+        busy_cycles: List[int] = [0] * num_cores
+        busy_time: List[float] = [0] * num_cores
+        tile_owner: Dict[Tuple[int, int], int] = {}
+        ready_time: Dict[int, float] = {}
+        end_time: Dict[int, float] = {}
         self.executions = []
 
-        while remaining:
-            ready = [t for t in remaining.values()
-                     if all(d in completed_at for d in t.depends_on)]
-            if not ready:
-                raise RuntimeError("task graph deadlock: circular dependencies")
-            # Earliest-finishing-dependency first keeps the schedule compact.
-            ready.sort(key=lambda t: max([completed_at[d] for d in t.depends_on], default=0))
-            task = ready[0]
-            core_index = min(range(len(core_free_at)), key=lambda i: core_free_at[i])
-            earliest_start = max([completed_at[d] for d in task.depends_on], default=0)
-            start = max(core_free_at[core_index], earliest_start)
-            cycles = self._run_task(task, core_index, tiles)
-            end = start + cycles
+        heap: List[Tuple] = []
+        for task in task_list:
+            if indegree[task.task_id] == 0:
+                ready_time[task.task_id] = 0
+                heapq.heappush(heap, (*self.policy.priority(task, 0), task.task_id))
+
+        while heap:
+            entry = heapq.heappop(heap)
+            task = by_id[entry[-1]]
+            ready = ready_time[task.task_id]
+            ctx.core_index = core_index = self.policy.choose_core(
+                task, ready, core_free_at, tile_owner)
+            cycles = self.timing.task_cycles(task, ctx, verify)
+            if self._homogeneous:
+                duration = cycles
+            else:
+                duration = cycles * reference_freq / self.core_frequencies_ghz[core_index]
+            start = max(core_free_at[core_index], ready)
+            end = start + duration
             core_free_at[core_index] = end
-            completed_at[task.task_id] = end
+            busy_cycles[core_index] += cycles
+            busy_time[core_index] += duration
+            end_time[task.task_id] = end
+            tile_owner[task.output] = core_index
             self.executions.append(TaskExecution(task.task_id, task.kind, core_index,
                                                  start, end))
-            del remaining[task.task_id]
+            for succ_id in successors[task.task_id]:
+                ready_time[succ_id] = max(ready_time.get(succ_id, 0), end)
+                indegree[succ_id] -= 1
+                if indegree[succ_id] == 0:
+                    succ = by_id[succ_id]
+                    heapq.heappush(heap, (*self.policy.priority(
+                        succ, ready_time[succ_id]), succ_id))
+
+        if len(self.executions) != len(task_list):
+            raise RuntimeError("task graph deadlock: circular dependencies")
 
         makespan = max(core_free_at) if core_free_at else 0
-        busy = [sum(e.cycles for e in self.executions if e.core_index == i)
-                for i in range(len(self.lap.cores))]
-        return {
+        stats: Dict[str, object] = {
             "makespan_cycles": makespan,
-            "per_core_busy_cycles": busy,
-            "parallel_efficiency": (sum(busy) / (makespan * len(busy))) if makespan else 0.0,
+            "per_core_busy_cycles": busy_cycles,
+            "parallel_efficiency": (sum(busy_time) / (makespan * num_cores))
+            if makespan else 0.0,
             "tasks_executed": len(self.executions),
+            "policy": self.policy.name,
+            "timing": self.timing.name,
+            "makespan_ns": makespan / reference_freq,
+            "data_valid": self.timing.keeps_data(verify),
         }
+        if isinstance(tasks, TaskGraph):
+            stats["graph"] = tasks.summary()
+        return stats
 
     # ------------------------------------------------------- whole problems
-    def run_blocked_gemm(self, n: int, rng: np.random.Generator) -> Dict[str, object]:
+    def run_blocked_gemm(self, n: int, rng: np.random.Generator,
+                         verify: bool = True) -> Dict[str, object]:
         """Decompose, schedule and verify one ``n x n`` GEMM end to end.
 
         Builds seeded operands, tiles them, executes the task graph on the
         LAP cores and extends the scheduler stats with a ``residual`` (the
         max absolute error against the numpy reference), so sweep rows can
         assert functional correctness alongside makespan and efficiency.
+        Under memoized timing with ``verify=False`` the tile data goes stale
+        and ``residual`` is ``None``.
         """
         a, b = rng.random((n, n)), rng.random((n, n))
         c = rng.random((n, n))
@@ -286,28 +459,102 @@ class LAPRuntime:
             "C": self.tile_matrix(c, self.tile),
         }
         tasks = self.library.gemm_tasks(n, n, n)
-        stats = self.execute(tasks, tiles)
-        result = self.untile_matrix(tiles["C"], self.tile)
-        stats["residual"] = float(np.max(np.abs(result - (c + a @ b))))
+        stats = self.execute(tasks, tiles, verify=verify)
+        if stats["data_valid"]:
+            result = self.untile_matrix(tiles["C"], self.tile)
+            stats["residual"] = float(np.max(np.abs(result - (c + a @ b))))
+        else:
+            stats["residual"] = None
         return stats
 
-    def run_blocked_cholesky(self, n: int, rng: np.random.Generator) -> Dict[str, object]:
+    def run_blocked_cholesky(self, n: int, rng: np.random.Generator,
+                             verify: bool = True) -> Dict[str, object]:
         """Decompose, schedule and verify one ``n x n`` Cholesky end to end.
 
         The seeded operand is made symmetric positive definite; all operand
         names alias one tile dictionary because the factorization updates A
         in place.  The returned stats carry the ``residual`` of
-        ``L L^T - A``.
+        ``L L^T - A`` (``None`` when the timing model dropped the data).
         """
         g = rng.random((n, n))
         a = g @ g.T + n * np.eye(n)
         a_tiles = self.tile_matrix(a, self.tile)
         tiles = {"A": a_tiles, "B": a_tiles, "C": a_tiles, "L": a_tiles}
         tasks = self.library.cholesky_tasks(n)
-        stats = self.execute(tasks, tiles)
-        factor = np.tril(self.untile_matrix(a_tiles, self.tile))
-        stats["residual"] = float(np.max(np.abs(factor @ factor.T - a)))
+        stats = self.execute(tasks, tiles, verify=verify)
+        if stats["data_valid"]:
+            factor = np.tril(self.untile_matrix(a_tiles, self.tile))
+            stats["residual"] = float(np.max(np.abs(factor @ factor.T - a)))
+        else:
+            stats["residual"] = None
         return stats
+
+    def run_blocked_lu(self, n: int, rng: np.random.Generator,
+                       verify: bool = True) -> Dict[str, object]:
+        """Decompose, schedule and verify one ``n x n`` tiled LU end to end.
+
+        The seeded operand is made strictly diagonally dominant so that the
+        no-pivot tile factorization is stable (row interchanges never leave
+        a diagonal tile).  The stats carry the ``residual`` of ``L U - A``.
+        """
+        a = rng.random((n, n)) + n * np.eye(n)
+        a_tiles = self.tile_matrix(a, self.tile)
+        tiles = {"A": a_tiles, "B": a_tiles, "C": a_tiles, "L": a_tiles}
+        tasks = self.library.lu_tasks(n)
+        stats = self.execute(tasks, tiles, verify=verify)
+        if stats["data_valid"]:
+            packed = self.untile_matrix(a_tiles, self.tile)
+            lower = np.tril(packed, -1) + np.eye(n)
+            upper = np.triu(packed)
+            stats["residual"] = float(np.max(np.abs(lower @ upper - a)))
+        else:
+            stats["residual"] = None
+        return stats
+
+    def run_blocked_qr(self, n: int, rng: np.random.Generator,
+                       verify: bool = True) -> Dict[str, object]:
+        """Decompose, schedule and verify one ``n x n`` tiled QR end to end.
+
+        The final upper block triangle holds ``R``; ``Q`` stays implicit in
+        the packed reflectors, so correctness is checked through the normal
+        equations: ``R^T R == A^T A`` exactly when ``A == Q R`` with an
+        orthogonal ``Q``.  The ``residual`` is the max absolute error of
+        that identity, normalised by ``max |A^T A|``.
+        """
+        a = rng.random((n, n))
+        tiles: Dict = {"A": self.tile_matrix(a, self.tile), "TAU": {}}
+        tasks = self.library.qr_tasks(n)
+        stats = self.execute(tasks, tiles, verify=verify)
+        if stats["data_valid"]:
+            t = self.tile
+            r = np.zeros((n, n))
+            for (bi, bj), block in tiles["A"].items():
+                if bj > bi:
+                    r[bi * t:(bi + 1) * t, bj * t:(bj + 1) * t] = block
+                elif bi == bj:
+                    r[bi * t:(bi + 1) * t, bj * t:(bj + 1) * t] = np.triu(block)
+            gram = a.T @ a
+            stats["residual"] = float(np.max(np.abs(r.T @ r - gram))
+                                      / max(1.0, np.max(np.abs(gram))))
+        else:
+            stats["residual"] = None
+        return stats
+
+    def run_workload(self, workload: str, n: int, rng: np.random.Generator,
+                     verify: bool = True) -> Dict[str, object]:
+        """Run one named workload (gemm / cholesky / lu / qr) end to end."""
+        runners = {
+            "gemm": self.run_blocked_gemm,
+            "cholesky": self.run_blocked_cholesky,
+            "lu": self.run_blocked_lu,
+            "qr": self.run_blocked_qr,
+        }
+        try:
+            runner = runners[workload]
+        except KeyError:
+            raise ValueError(f"unknown workload '{workload}' (use one of "
+                             f"{', '.join(sorted(runners))})") from None
+        return runner(n, rng, verify=verify)
 
     # ------------------------------------------------------------ helpers
     @staticmethod
@@ -316,7 +563,8 @@ class LAPRuntime:
         matrix = np.asarray(matrix, dtype=float)
         rows, cols = matrix.shape
         if rows % tile or cols % tile:
-            raise ValueError("matrix dimensions must be multiples of the tile size")
+            raise ValueError(f"matrix dimensions {rows} x {cols} must be "
+                             f"multiples of the tile size {tile}")
         return {(i // tile, j // tile): matrix[i:i + tile, j:j + tile].copy()
                 for i in range(0, rows, tile) for j in range(0, cols, tile)}
 

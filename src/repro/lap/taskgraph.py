@@ -1,0 +1,438 @@
+"""TaskGraph IR: tile task graphs for the algorithms-by-blocks layer.
+
+The dissertation's programming environment (Figure 1.2, Chapter 5) breaks a
+large routine into *atomic* tile operations and hands each to the LAP through
+a thin driver interface.  This module is the intermediate representation of
+that layer:
+
+* :class:`TaskKind` -- the atomic tile operations the runtime understands
+  (level-3 BLAS updates plus the factorization tile kernels of Chapter 6);
+* :class:`TaskDescriptor` -- one tile operation (the "command packet");
+* :class:`TaskGraph` -- an immutable dependency graph over task descriptors
+  with the analytics a scheduler needs (critical path, width, per-kind
+  counts, topological levels);
+* :class:`AlgorithmsByBlocks` -- the host-library decomposition of GEMM,
+  Cholesky, LU (no pivoting across tiles) and tiled Householder QR into
+  dependency-ordered tile graphs.
+
+Schedulers (:mod:`repro.lap.policies`), timing models
+(:mod:`repro.lap.timing`) and the driver (:mod:`repro.lap.runtime`) all
+consume this IR; nothing here touches the simulator.
+"""
+
+from __future__ import annotations
+
+import collections.abc
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class TaskKind(enum.Enum):
+    """Atomic tile operations the LAP accepts from the host."""
+
+    GEMM = "gemm"                  #: C_tile += alpha * A_tile @ op(B_tile)
+    SYRK = "syrk"                  #: C_tile += alpha * A_tile @ A_tile^T (lower)
+    TRSM = "trsm"                  #: B_tile := L_tile^{-1} B_tile
+    TRSM_RIGHT_T = "trsm_rt"       #: B_tile := B_tile @ L_tile^{-T}
+    CHOLESKY = "chol"              #: A_tile := chol(A_tile)
+    LU = "lu"                      #: A_tile := {L\U} (no pivoting across tiles)
+    TRSM_LOWER = "trsm_ll"         #: B_tile := unit_lower(L_tile)^{-1} B_tile
+    TRSM_UPPER_RIGHT = "trsm_ru"   #: B_tile := B_tile @ triu(U_tile)^{-1}
+    GEQRT = "geqrt"                #: A_tile := {V\R}, tau (QR of a diagonal tile)
+    TSQRT = "tsqrt"                #: [R; A_tile] := QR (triangle-on-top-of-square)
+    UNMQR = "unmqr"                #: C_tile := Q^T C_tile (reflectors of GEQRT)
+    TSMQR = "tsmqr"                #: [C_top; C_bot] := Q^T [..] (reflectors of TSQRT)
+
+
+#: Kinds that factor a tile (as opposed to updating one with level-3 BLAS).
+FACTOR_KINDS = frozenset({TaskKind.CHOLESKY, TaskKind.LU, TaskKind.GEQRT,
+                          TaskKind.TSQRT})
+
+
+@dataclass
+class TaskDescriptor:
+    """One atomic tile operation (the command-packet abstraction).
+
+    ``inputs`` and ``output`` are tile coordinates ``(block_row, block_col)``
+    into the blocked operand; ``depends_on`` lists task ids that must complete
+    first (the host library serialises dependent tiles, everything else may
+    run on any idle core).  ``alpha`` scales the product of update tasks
+    (``-1`` for the trailing updates of a factorization) and ``transpose_b``
+    requests the second operand transposed, which the LAC performs over its
+    diagonal PEs at no extra bandwidth cost.
+    """
+
+    task_id: int
+    kind: TaskKind
+    output: Tuple[int, int]
+    inputs: List[Tuple[int, int]] = field(default_factory=list)
+    depends_on: List[int] = field(default_factory=list)
+    alpha: float = 1.0
+    transpose_b: bool = False
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ValueError("task ids must be non-negative")
+
+
+class TaskGraph(collections.abc.Sequence):
+    """An immutable tile-task dependency graph with scheduling analytics.
+
+    Behaves as a sequence of :class:`TaskDescriptor` (so existing callers
+    that expect a task list keep working) and adds the graph structure and
+    metrics a scheduler wants: predecessor/successor adjacency, per-kind
+    counts, topological levels, width (the largest level -- an upper bound
+    on exploitable task parallelism) and critical-path lengths, optionally
+    weighted by an estimated per-task cost.
+
+    Dependencies on unknown task ids are rejected here; cycles are only
+    detected lazily (by :meth:`levels` / the scheduler's deadlock check) so
+    that deliberately broken graphs can still be handed to the runtime in
+    tests.
+    """
+
+    def __init__(self, tasks: Sequence[TaskDescriptor]):
+        self._tasks: List[TaskDescriptor] = list(tasks)
+        self._by_id: Dict[int, TaskDescriptor] = {}
+        for task in self._tasks:
+            if task.task_id in self._by_id:
+                raise ValueError(f"duplicate task id {task.task_id}")
+            self._by_id[task.task_id] = task
+        for task in self._tasks:
+            for dep in task.depends_on:
+                if dep not in self._by_id:
+                    raise ValueError(f"task {task.task_id} depends on unknown "
+                                     f"task id {dep}")
+        self._successors: Dict[int, List[int]] = {t.task_id: [] for t in self._tasks}
+        for task in self._tasks:
+            for dep in set(task.depends_on):
+                self._successors[dep].append(task.task_id)
+        self._levels: Optional[List[List[int]]] = None
+
+    # -------------------------------------------------------- sequence API
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[TaskDescriptor]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index):
+        return self._tasks[index]
+
+    def task(self, task_id: int) -> TaskDescriptor:
+        """Look up one task by id."""
+        return self._by_id[task_id]
+
+    @property
+    def task_ids(self) -> List[int]:
+        return [t.task_id for t in self._tasks]
+
+    # ----------------------------------------------------------- adjacency
+    def successors(self, task_id: int) -> List[int]:
+        """Ids of the tasks that depend on ``task_id``."""
+        return list(self._successors[task_id])
+
+    def predecessors(self, task_id: int) -> List[int]:
+        """Ids of the tasks ``task_id`` depends on (duplicates removed)."""
+        return sorted(set(self._by_id[task_id].depends_on))
+
+    # ------------------------------------------------------------ analytics
+    def kind_counts(self) -> Dict[TaskKind, int]:
+        """Number of tasks of each kind present in the graph."""
+        counts: Dict[TaskKind, int] = {}
+        for task in self._tasks:
+            counts[task.kind] = counts.get(task.kind, 0) + 1
+        return counts
+
+    def levels(self) -> List[List[int]]:
+        """Topological levels: level ``d`` holds the ids at dependency depth ``d``.
+
+        Raises :class:`ValueError` if the graph contains a cycle.
+        """
+        if self._levels is None:
+            indegree = {t.task_id: len(set(t.depends_on)) for t in self._tasks}
+            frontier = sorted(tid for tid, deg in indegree.items() if deg == 0)
+            levels: List[List[int]] = []
+            seen = 0
+            while frontier:
+                levels.append(frontier)
+                seen += len(frontier)
+                nxt: List[int] = []
+                for tid in frontier:
+                    for succ in self._successors[tid]:
+                        indegree[succ] -= 1
+                        if indegree[succ] == 0:
+                            nxt.append(succ)
+                frontier = sorted(nxt)
+            if seen != len(self._tasks):
+                raise ValueError("task graph contains a dependency cycle")
+            self._levels = levels
+        return self._levels
+
+    def width(self) -> int:
+        """Size of the largest topological level (peak task parallelism)."""
+        return max((len(level) for level in self.levels()), default=0)
+
+    def critical_path_lengths(
+            self, weight: Optional[Callable[[TaskDescriptor], float]] = None
+    ) -> Dict[int, float]:
+        """Longest path from each task to any exit, inclusive of the task.
+
+        With the default unit weight the value is the number of tasks on the
+        longest downstream chain; pass ``weight`` to use estimated cycles.
+        Used by the critical-path scheduling policy.
+        """
+        lengths: Dict[int, float] = {}
+        for level in reversed(self.levels()):
+            for tid in level:
+                task = self._by_id[tid]
+                w = 1.0 if weight is None else float(weight(task))
+                down = max((lengths[s] for s in self._successors[tid]), default=0.0)
+                lengths[tid] = w + down
+        return lengths
+
+    def critical_path_length(
+            self, weight: Optional[Callable[[TaskDescriptor], float]] = None
+    ) -> float:
+        """Length of the longest dependency chain in the graph."""
+        lengths = self.critical_path_lengths(weight)
+        return max(lengths.values(), default=0.0)
+
+    def summary(self) -> Dict[str, object]:
+        """Scalar graph metrics (handy for sweep rows and reports)."""
+        return {
+            "num_tasks": len(self._tasks),
+            "num_levels": len(self.levels()),
+            "width": self.width(),
+            "critical_path_tasks": int(self.critical_path_length()),
+            "kind_counts": {k.value: v for k, v in sorted(
+                self.kind_counts().items(), key=lambda kv: kv[0].value)},
+        }
+
+
+class AlgorithmsByBlocks:
+    """Host-library decomposition of large problems into tile task graphs.
+
+    ``tile`` is the edge length of one square tile; it must be a positive
+    multiple of the core dimension ``nr`` so that every tile kernel maps
+    cleanly onto the PE mesh.
+    """
+
+    def __init__(self, tile: int, nr: int = 4):
+        if nr < 2:
+            raise ValueError(f"core dimension nr must be >= 2, got nr={nr}")
+        if tile < nr:
+            raise ValueError(f"tile size {tile} is smaller than the core "
+                             f"dimension nr={nr}")
+        if tile % nr != 0:
+            raise ValueError(f"tile size {tile} is not a multiple of the core "
+                             f"dimension nr={nr}")
+        self.tile = tile
+        self.nr = nr
+        self._ids = itertools.count()
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _check_blocking(self, **dims: int) -> None:
+        for name, d in dims.items():
+            if d <= 0:
+                raise ValueError(f"dimension {name}={d} must be positive "
+                                 f"(tile size {self.tile})")
+            if d % self.tile != 0:
+                raise ValueError(f"dimension {name}={d} is not a multiple of "
+                                 f"the tile size {self.tile}")
+
+    # ----------------------------------------------------------------- GEMM
+    def gemm_tasks(self, m: int, n: int, k: int) -> TaskGraph:
+        """Task graph for C += A B with independent C tiles.
+
+        Tiles of C are independent of each other; the ``k`` accumulation for a
+        given C tile is expressed as a chain of dependent GEMM tasks so that
+        the accumulator tile is never written concurrently.
+        """
+        t = self.tile
+        self._check_blocking(m=m, n=n, k=k)
+        tasks: List[TaskDescriptor] = []
+        for bi in range(m // t):
+            for bj in range(n // t):
+                previous: Optional[int] = None
+                for bk in range(k // t):
+                    task = TaskDescriptor(
+                        task_id=self._next_id(), kind=TaskKind.GEMM,
+                        output=(bi, bj), inputs=[(bi, bk), (bk, bj)],
+                        depends_on=[previous] if previous is not None else [])
+                    tasks.append(task)
+                    previous = task.task_id
+        return TaskGraph(tasks)
+
+    # ------------------------------------------------------------- Cholesky
+    def cholesky_tasks(self, n: int) -> TaskGraph:
+        """Task graph for a right-looking blocked Cholesky factorization.
+
+        The classic dependency pattern: CHOL(j,j) -> TRSM(i,j) for i>j ->
+        SYRK/GEMM updates of the trailing tiles.
+        """
+        t = self.tile
+        self._check_blocking(n=n)
+        nb = n // t
+        tasks: List[TaskDescriptor] = []
+        # written[(i, j)] is the id of the last task that wrote tile (i, j).
+        written: Dict[Tuple[int, int], int] = {}
+        for j in range(nb):
+            chol = TaskDescriptor(self._next_id(), TaskKind.CHOLESKY, output=(j, j),
+                                  inputs=[(j, j)],
+                                  depends_on=[written[(j, j)]] if (j, j) in written else [])
+            tasks.append(chol)
+            written[(j, j)] = chol.task_id
+            for i in range(j + 1, nb):
+                deps = [chol.task_id]
+                if (i, j) in written:
+                    deps.append(written[(i, j)])
+                trsm = TaskDescriptor(self._next_id(), TaskKind.TRSM_RIGHT_T, output=(i, j),
+                                      inputs=[(j, j), (i, j)], depends_on=deps)
+                tasks.append(trsm)
+                written[(i, j)] = trsm.task_id
+            for i in range(j + 1, nb):
+                for k in range(j + 1, i + 1):
+                    deps = [written[(i, j)], written[(k, j)]]
+                    if (i, k) in written:
+                        deps.append(written[(i, k)])
+                    kind = TaskKind.SYRK if i == k else TaskKind.GEMM
+                    update = TaskDescriptor(self._next_id(), kind, output=(i, k),
+                                            inputs=[(i, j), (k, j)],
+                                            depends_on=sorted(set(deps)),
+                                            alpha=-1.0, transpose_b=True)
+                    tasks.append(update)
+                    written[(i, k)] = update.task_id
+        return TaskGraph(tasks)
+
+    # ------------------------------------------------------------------- LU
+    def lu_tasks(self, n: int) -> TaskGraph:
+        """Task graph for a right-looking tiled LU factorization (no pivoting
+        across tiles).
+
+        The dependency pattern mirrors Cholesky without symmetry:
+        LU(j,j) -> TRSM_LOWER(j,k) along the block row (U panels) and
+        TRSM_UPPER_RIGHT(i,j) down the block column (L panels) -> GEMM
+        updates of the full trailing matrix.  Row interchanges are confined
+        to the diagonal tile, so the operand must make pivoting unnecessary
+        (e.g. diagonally dominant); the LU tile kernel enforces this.
+        """
+        t = self.tile
+        self._check_blocking(n=n)
+        nb = n // t
+        tasks: List[TaskDescriptor] = []
+        written: Dict[Tuple[int, int], int] = {}
+        for j in range(nb):
+            lu = TaskDescriptor(self._next_id(), TaskKind.LU, output=(j, j),
+                                inputs=[(j, j)],
+                                depends_on=[written[(j, j)]] if (j, j) in written else [])
+            tasks.append(lu)
+            written[(j, j)] = lu.task_id
+            for k in range(j + 1, nb):
+                deps = [lu.task_id]
+                if (j, k) in written:
+                    deps.append(written[(j, k)])
+                trsm = TaskDescriptor(self._next_id(), TaskKind.TRSM_LOWER,
+                                      output=(j, k), inputs=[(j, j), (j, k)],
+                                      depends_on=deps)
+                tasks.append(trsm)
+                written[(j, k)] = trsm.task_id
+            for i in range(j + 1, nb):
+                deps = [lu.task_id]
+                if (i, j) in written:
+                    deps.append(written[(i, j)])
+                trsm = TaskDescriptor(self._next_id(), TaskKind.TRSM_UPPER_RIGHT,
+                                      output=(i, j), inputs=[(j, j), (i, j)],
+                                      depends_on=deps)
+                tasks.append(trsm)
+                written[(i, j)] = trsm.task_id
+            for i in range(j + 1, nb):
+                for k in range(j + 1, nb):
+                    deps = [written[(i, j)], written[(j, k)]]
+                    if (i, k) in written:
+                        deps.append(written[(i, k)])
+                    update = TaskDescriptor(self._next_id(), TaskKind.GEMM,
+                                            output=(i, k), inputs=[(i, j), (j, k)],
+                                            depends_on=sorted(set(deps)),
+                                            alpha=-1.0)
+                    tasks.append(update)
+                    written[(i, k)] = update.task_id
+        return TaskGraph(tasks)
+
+    # ------------------------------------------------------------------- QR
+    def qr_tasks(self, n: int) -> TaskGraph:
+        """Task graph for a tiled Householder QR factorization.
+
+        The classic tiled-QR kernel quartet: GEQRT factors the diagonal
+        tile, UNMQR applies its reflectors along the block row, TSQRT couples
+        the current ``R`` with a tile below the diagonal
+        (triangle-on-top-of-square QR) and TSMQR applies those reflectors to
+        the corresponding pair of block rows.  The upper-triangular part of
+        the final tiles holds ``R``; the reflectors stay packed below the
+        diagonals with their ``tau`` scalars in the runtime's ``TAU`` side
+        store.
+        """
+        t = self.tile
+        self._check_blocking(n=n)
+        nb = n // t
+        tasks: List[TaskDescriptor] = []
+        written: Dict[Tuple[int, int], int] = {}
+        for j in range(nb):
+            geqrt = TaskDescriptor(self._next_id(), TaskKind.GEQRT, output=(j, j),
+                                   inputs=[(j, j)],
+                                   depends_on=[written[(j, j)]] if (j, j) in written else [])
+            tasks.append(geqrt)
+            written[(j, j)] = geqrt.task_id
+            for k in range(j + 1, nb):
+                deps = [geqrt.task_id]
+                if (j, k) in written:
+                    deps.append(written[(j, k)])
+                unmqr = TaskDescriptor(self._next_id(), TaskKind.UNMQR,
+                                       output=(j, k), inputs=[(j, j), (j, k)],
+                                       depends_on=deps)
+                tasks.append(unmqr)
+                written[(j, k)] = unmqr.task_id
+            for i in range(j + 1, nb):
+                deps = [written[(j, j)]]
+                if (i, j) in written:
+                    deps.append(written[(i, j)])
+                tsqrt = TaskDescriptor(self._next_id(), TaskKind.TSQRT,
+                                       output=(i, j), inputs=[(j, j), (i, j)],
+                                       depends_on=sorted(set(deps)))
+                tasks.append(tsqrt)
+                # TSQRT rewrites the R on the diagonal *and* stores the
+                # reflectors in tile (i, j).
+                written[(j, j)] = tsqrt.task_id
+                written[(i, j)] = tsqrt.task_id
+                for k in range(j + 1, nb):
+                    deps = [tsqrt.task_id, written[(j, k)]]
+                    if (i, k) in written:
+                        deps.append(written[(i, k)])
+                    tsmqr = TaskDescriptor(self._next_id(), TaskKind.TSMQR,
+                                           output=(i, k),
+                                           inputs=[(i, j), (j, k), (i, k)],
+                                           depends_on=sorted(set(deps)))
+                    tasks.append(tsmqr)
+                    written[(j, k)] = tsmqr.task_id
+                    written[(i, k)] = tsmqr.task_id
+        return TaskGraph(tasks)
+
+    #: Workload name -> builder, for the runtime's ``run_workload`` helper.
+    WORKLOADS = ("gemm", "cholesky", "lu", "qr")
+
+    def build(self, workload: str, n: int) -> TaskGraph:
+        """Build the task graph of one named ``n x n`` workload."""
+        if workload == "gemm":
+            return self.gemm_tasks(n, n, n)
+        if workload == "cholesky":
+            return self.cholesky_tasks(n)
+        if workload == "lu":
+            return self.lu_tasks(n)
+        if workload == "qr":
+            return self.qr_tasks(n)
+        raise ValueError(f"unknown workload '{workload}' "
+                         f"(use one of {', '.join(self.WORKLOADS)})")

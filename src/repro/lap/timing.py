@@ -1,0 +1,150 @@
+"""Timing models: decouple task cycle counts from functional execution.
+
+The LAC runs its kernels in lock step, so the cycle count of a tile task is
+a pure function of its (kind, tile shapes, precision) -- not of the tile
+*values*.  The runtime exploits that through a timing model:
+
+``functional``
+    every task is executed on the cycle-level simulator; the cycle count is
+    the simulator's counter delta and the tile data is always exact.
+``memoized``
+    the first task of each (kind, shapes, precision, scaling) signature runs
+    functionally and its cycle count is cached; every later task with the
+    same signature is charged the cached count without touching the
+    simulator.  Large graphs (e.g. a 4096^2 Cholesky at tile 128) then
+    schedule in seconds instead of hours.  With ``verify=True`` the runtime
+    applies a fast NumPy reference update for memoized tasks so that the
+    factors stay numerically exact and residual verification is retained;
+    with ``verify=False`` the tile data goes stale after the warm-up runs
+    and residuals are unavailable.
+
+The model object also records warm-up wall time per signature, which lets a
+benchmark compare a memoized schedule against a (measured, per-signature)
+estimate of the full functional path without paying for it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple, Union
+
+from repro.lap.taskgraph import TaskDescriptor
+
+#: Cache signature of one task: (kind, tile shapes, precision, unit-alpha,
+#: transpose) -- everything that selects a kernel code path.
+TaskSignature = Tuple
+
+
+def task_signature(task: TaskDescriptor, shapes: Tuple, precision: str) -> TaskSignature:
+    """Signature under which a task's cycle count is memoizable."""
+    return (task.kind.value, shapes, precision, task.alpha == 1.0,
+            bool(task.transpose_b))
+
+
+class TimingModel:
+    """Base timing model: how a scheduled task obtains its cycle count.
+
+    ``ctx`` is the runtime's execution context, providing ``functional(task)``
+    (simulate on the assigned core, update tiles, return cycles),
+    ``reference(task)`` (NumPy tile update, no cycles) and
+    ``signature(task)``.
+    """
+
+    name = "functional"
+
+    def keeps_data(self, verify: bool) -> bool:
+        """Whether tile data stays numerically valid under this model."""
+        return True
+
+    def task_cycles(self, task: TaskDescriptor, ctx, verify: bool) -> int:
+        raise NotImplementedError
+
+
+class FunctionalTiming(TimingModel):
+    """Run every task on the simulator (the pre-refactor behaviour)."""
+
+    name = "functional"
+
+    def task_cycles(self, task: TaskDescriptor, ctx, verify: bool) -> int:
+        return ctx.functional(task)
+
+
+class MemoizedTiming(TimingModel):
+    """Memoize per-signature cycle counts after one functional run each."""
+
+    name = "memoized"
+
+    def __init__(self) -> None:
+        self._cycles: Dict[TaskSignature, int] = {}
+        #: Wall-clock seconds of the warm-up run per signature.
+        self.warm_seconds_by_signature: Dict[TaskSignature, float] = {}
+        #: Tasks charged per signature since construction / reset_stats().
+        self.task_counts: Dict[TaskSignature, int] = {}
+        self.warm_runs = 0
+        self.hits = 0
+
+    def keeps_data(self, verify: bool) -> bool:
+        return bool(verify)
+
+    def reset_stats(self) -> None:
+        """Zero the hit/warm counters (the cycle cache is kept)."""
+        self.task_counts = {}
+        self.warm_runs = 0
+        self.hits = 0
+
+    @property
+    def warm_seconds(self) -> float:
+        """Total wall time spent in functional warm-up runs."""
+        return sum(self.warm_seconds_by_signature.values())
+
+    def estimated_functional_seconds(self) -> float:
+        """Measured-cost estimate of running every charged task functionally.
+
+        Sums, over every task this model has scheduled, the wall time of the
+        functional warm-up run of that task's signature -- i.e. what the
+        ``functional`` timing model would have cost, estimated from real
+        measurements instead of being paid.
+        """
+        return sum(count * self.warm_seconds_by_signature.get(sig, 0.0)
+                   for sig, count in self.task_counts.items())
+
+    def task_cycles(self, task: TaskDescriptor, ctx, verify: bool) -> int:
+        signature = ctx.signature(task)
+        self.task_counts[signature] = self.task_counts.get(signature, 0) + 1
+        cached = self._cycles.get(signature)
+        if cached is None:
+            started = time.perf_counter()
+            cycles = ctx.functional(task)
+            self.warm_seconds_by_signature[signature] = time.perf_counter() - started
+            self._cycles[signature] = cycles
+            self.warm_runs += 1
+            return cycles
+        self.hits += 1
+        if verify:
+            ctx.reference(task)
+        return cached
+
+
+#: Registry of timing models by CLI/runner name.
+TIMING_MODELS: Dict[str, type] = {
+    FunctionalTiming.name: FunctionalTiming,
+    MemoizedTiming.name: MemoizedTiming,
+}
+
+
+def timing_names() -> List[str]:
+    """Names accepted by ``LAPRuntime(timing=...)`` and the sweep CLI."""
+    return sorted(TIMING_MODELS)
+
+
+def get_timing_model(timing: Union[str, TimingModel, None]) -> TimingModel:
+    """Resolve a timing-model name (or pass an instance through)."""
+    if timing is None:
+        return FunctionalTiming()
+    if isinstance(timing, TimingModel):
+        return timing
+    try:
+        return TIMING_MODELS[str(timing)]()
+    except KeyError:
+        raise ValueError(f"unknown timing model '{timing}'; known models: "
+                         f"{', '.join(timing_names())}") from None

@@ -102,6 +102,82 @@ def ref_householder_vector(x: np.ndarray) -> Tuple[float, np.ndarray, float]:
     return float(rho1), u2, float(tau1)
 
 
+def ref_lu_nopivot(a: np.ndarray) -> np.ndarray:
+    """LU factorization without pivoting, packed as {L\\U} in one matrix.
+
+    Returns a matrix carrying the unit-lower-triangular multipliers below the
+    diagonal and ``U`` on/above it (the in-place convention of the LAC tile
+    kernel).  The caller must supply an operand for which no-pivot LU is
+    stable (e.g. diagonally dominant); a (near-)zero pivot raises.
+    """
+    a = np.array(a, dtype=float, copy=True)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"A must be square, got shape {a.shape}")
+    n = a.shape[0]
+    for k in range(n - 1):
+        pivot = a[k, k]
+        if abs(pivot) < 1e-300:
+            raise ValueError("zero pivot: no-pivot LU requires a (e.g. "
+                             "diagonally dominant) operand with nonzero pivots")
+        a[k + 1:, k] /= pivot
+        a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k, k + 1:])
+    return a
+
+
+def ref_householder_qr_factored(a: np.ndarray) -> Tuple[np.ndarray, list]:
+    """Householder QR in packed (LAPACK ``geqrf``) form.
+
+    Returns ``(factored, taus)`` where ``factored`` carries ``R`` in its
+    upper triangle and the essential parts of the Householder vectors below
+    the diagonal -- the same convention and reflector formulas as the LAC
+    kernel :func:`repro.kernels.qr.lac_householder_qr_panel`, so the two can
+    be mixed within one tiled factorization.
+    """
+    r = np.array(a, dtype=float, copy=True)
+    if r.ndim != 2:
+        raise ValueError("A must be 2-D")
+    m, n = r.shape
+    if m < n:
+        raise ValueError("Householder QR here requires m >= n")
+    taus = []
+    for k in range(n):
+        rho, u2, tau = ref_householder_vector(r[k:, k])
+        taus.append(tau)
+        if not np.isfinite(tau):
+            continue
+        u = np.concatenate(([1.0], u2))
+        trailing = r[k:, k + 1:]
+        if trailing.size:
+            w = (u @ trailing) / tau
+            trailing -= np.outer(u, w)
+        r[k, k] = rho
+        r[k + 1:, k] = u2
+    return r, taus
+
+
+def ref_apply_reflectors(v: np.ndarray, taus, c: np.ndarray) -> np.ndarray:
+    """Apply ``Q^T = H_{p-1} ... H_0`` of packed reflectors ``v`` to ``c``.
+
+    Mirrors :func:`repro.kernels.qr.lac_apply_reflectors`: reflector ``j``
+    has a unit head at row ``j`` and its essential part below the diagonal
+    of column ``j`` of ``v``; non-finite ``tau`` marks an identity reflector.
+    """
+    v = np.asarray(v, dtype=float)
+    c = np.array(c, dtype=float, copy=True)
+    if v.ndim != 2 or c.ndim != 2 or c.shape[0] != v.shape[0]:
+        raise ValueError("reflectors and C must be 2-D with matching rows")
+    if len(taus) != v.shape[1]:
+        raise ValueError(f"expected {v.shape[1]} tau scalars, got {len(taus)}")
+    for j in range(v.shape[1]):
+        tau = taus[j]
+        if not np.isfinite(tau):
+            continue
+        u = np.concatenate(([1.0], v[j + 1:, j]))
+        w = (u @ c[j:, :]) / tau
+        c[j:, :] -= np.outer(u, w)
+    return c
+
+
 def ref_householder_qr(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Householder QR factorization: returns (Q, R) with A = Q R.
 

@@ -253,6 +253,32 @@ def test_sweep_lap_runtime_runner_end_to_end(tmp_path, capsys):
     assert payload["executed"] == 0 and payload["cached"] == 2
 
 
+def test_sweep_policy_comparison_end_to_end(tmp_path, capsys):
+    """Acceptance: the policy-comparison sweep runs through the cached,
+    parallel engine from the CLI (policies x cores, LU/QR workloads)."""
+    cache = str(tmp_path / "cache")
+    argv = ["sweep", "--runner", "lap_runtime",
+            "--grid", "policy=greedy,critical_path,locality",
+            "--grid", "num_cores=1,2", "--grid", "algorithm=lu,qr",
+            "--set", "n=16", "--set", "tile=8", "--set", "timing=memoized",
+            "--cache-dir", cache, "--mode", "process", "--json", "-"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["executed"] == 12
+    assert {row["policy"] for row in payload["rows"]} == {
+        "greedy", "critical_path", "locality"}
+    assert all(row["residual"] < 1e-9 for row in payload["rows"])
+    # Warm-cache rerun: every policy point comes back from the cache.
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["executed"] == 0 and payload["cached"] == 12
+
+
+def test_experiments_lists_runtime_policy_sweep(capsys):
+    assert main(["experiments", "--list"]) == 0
+    assert "runtime_policies" in capsys.readouterr().out
+
+
 def test_sweep_blocked_fact_runner_end_to_end(capsys):
     argv = ["sweep", "--runner", "blocked_fact", "--grid",
             "method=cholesky,lu,qr", "--set", "n=8", "--no-cache", "--json", "-"]

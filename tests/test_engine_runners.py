@@ -131,9 +131,59 @@ class TestLapRuntimeRunner:
         # factorization's task graph, so the metric must be null here.
         assert row["static_load_balance"] is None
 
+    @pytest.mark.parametrize("algorithm", ["lu", "qr"])
+    def test_lu_and_qr_rows_are_verified(self, algorithm):
+        row = get_runner("lap_runtime")({"algorithm": algorithm, "n": 16,
+                                         "tile": 8, "num_cores": 2, "nr": 4,
+                                         "seed": 3})
+        assert row["residual"] < 1e-10
+        assert row["makespan_cycles"] > 0
+        assert row["critical_path_tasks"] >= 1
+        assert row["graph_width"] >= 1
+        assert row["static_load_balance"] is None
+
+    @pytest.mark.parametrize("policy", ["greedy", "critical_path", "locality"])
+    def test_policy_rows_schedule_and_verify(self, policy):
+        row = get_runner("lap_runtime")({"algorithm": "cholesky", "n": 16,
+                                         "tile": 4, "num_cores": 2, "nr": 4,
+                                         "seed": 3, "policy": policy,
+                                         "timing": "memoized"})
+        assert row["policy"] == policy and row["timing"] == "memoized"
+        assert row["residual"] < 1e-8
+
+    def test_memoized_unverified_row_matches_functional_makespan(self):
+        runner = get_runner("lap_runtime")
+        base = {"algorithm": "cholesky", "n": 16, "tile": 4, "num_cores": 2,
+                "seed": 3}
+        functional = runner(dict(base))
+        memoized = runner({**base, "timing": "memoized", "verify": False})
+        assert memoized["makespan_cycles"] == functional["makespan_cycles"]
+        assert memoized["residual"] is None
+
+    def test_heterogeneous_core_frequencies(self):
+        runner = get_runner("lap_runtime")
+        base = {"algorithm": "cholesky", "n": 16, "tile": 4, "num_cores": 2,
+                "seed": 3}
+        homo = runner(dict(base))
+        hetero = runner({**base, "core_frequencies_ghz": "1.0,2.0"})
+        assert hetero["core_frequencies_ghz"] == "1,2"
+        assert hetero["makespan_cycles"] < homo["makespan_cycles"]
+        # The colon form (CLI-friendly: commas split sweep axes) and a real
+        # sequence parse to the same clocks; a single value is homogeneous.
+        colon = runner({**base, "core_frequencies_ghz": "1.0:2.0"})
+        listed = runner({**base, "core_frequencies_ghz": (1.0, 2.0)})
+        assert colon == hetero == listed
+        single = runner({**base, "core_frequencies_ghz": "1.0"})
+        assert single["core_frequencies_ghz"] == "1,1"
+        assert single["makespan_cycles"] == homo["makespan_cycles"]
+
     def test_unknown_algorithm_raises(self):
         with pytest.raises(ValueError, match="lap_runtime algorithm"):
-            get_runner("lap_runtime")({"algorithm": "qr"})
+            get_runner("lap_runtime")({"algorithm": "svd"})
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            get_runner("lap_runtime")({"algorithm": "gemm", "policy": "random"})
 
     def test_is_deterministic(self):
         params = {"algorithm": "gemm", "n": 16, "tile": 8, "num_cores": 2,
@@ -176,6 +226,12 @@ def _new_runner_jobs():
     jobs += (SweepSpec()
              .constants(algorithm="cholesky", tile=4, num_cores=2, nr=4, seed=0)
              .grid(n=(8, 12))
+             .jobs("lap_runtime"))
+    jobs += (SweepSpec()
+             .constants(tile=8, num_cores=2, nr=4, seed=0, n=16,
+                        timing="memoized")
+             .grid(algorithm=("lu", "qr"),
+                   policy=("critical_path", "locality"))
              .jobs("lap_runtime"))
     jobs += (SweepSpec()
              .constants(nr=4, seed=0)

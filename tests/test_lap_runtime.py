@@ -120,8 +120,43 @@ def test_runtime_detects_circular_dependencies(lap):
                         depends_on=[1])
     t1 = TaskDescriptor(1, TaskKind.GEMM, output=(0, 0), inputs=[(0, 0), (0, 0)],
                         depends_on=[0])
-    with pytest.raises(RuntimeError):
+    with pytest.raises(RuntimeError, match="deadlock"):
         runtime.execute([t0, t1], {"A": {}, "B": {}, "C": {}})
+
+
+def test_runtime_detects_unsatisfiable_dependency(lap):
+    """A dependency on a task id that is not in the graph can never clear."""
+    runtime = LAPRuntime(lap, 8)
+    orphan = TaskDescriptor(0, TaskKind.GEMM, output=(0, 0),
+                            inputs=[(0, 0), (0, 0)], depends_on=[99])
+    with pytest.raises(RuntimeError, match="deadlock"):
+        runtime.execute([orphan], {"A": {}, "B": {}, "C": {}})
+
+
+def test_trsm_task_kind_solves_lower_triangular_tile(lap, rng):
+    """The plain TRSM kind (B := L^{-1} B) executes and verifies."""
+    tile = 8
+    runtime = LAPRuntime(lap, tile)
+    l = np.tril(rng.random((tile, tile))) + tile * np.eye(tile)
+    b = rng.random((tile, tile))
+    tiles = {"L": {(0, 0): l}, "B": {(0, 0): b.copy()}}
+    task = TaskDescriptor(0, TaskKind.TRSM, output=(0, 0), inputs=[(0, 0)])
+    stats = runtime.execute([task], tiles)
+    assert stats["tasks_executed"] == 1
+    assert stats["makespan_cycles"] > 0
+    np.testing.assert_allclose(tiles["B"][(0, 0)], np.linalg.solve(l, b),
+                               rtol=1e-10, atol=1e-12)
+
+
+def test_empty_graph_has_zero_makespan_and_efficiency(lap):
+    """An empty / zero-makespan graph reports 0 efficiency, not a crash."""
+    runtime = LAPRuntime(lap, 8)
+    stats = runtime.execute([], {"A": {}, "B": {}, "C": {}})
+    assert stats["makespan_cycles"] == 0
+    assert stats["parallel_efficiency"] == 0.0
+    assert stats["tasks_executed"] == 0
+    assert stats["per_core_busy_cycles"] == [0, 0]
+    assert runtime.executions == []
 
 
 def test_tile_and_untile_round_trip(rng):
