@@ -1,0 +1,105 @@
+"""Benchmarks of the memory-hierarchy layer (residency / stalls / energy).
+
+Covers the headline claims of the data-movement refactor:
+
+* the tile-residency LRU accounts a ~6000-task graph in well under a second
+  (pure bookkeeping, no simulator involvement),
+* shrinking the on-chip capacity below the working set monotonically
+  increases off-chip traffic and makes stalls appear,
+* the ``memory_aware`` policy never moves more off-chip bytes than
+  ``greedy`` and strictly fewer under capacity pressure.
+
+Each benchmark emits a machine-readable ``BENCH_*.json`` record via the
+``bench_json`` fixture so the perf trajectory is tracked across PRs.
+"""
+
+import time
+
+import numpy as np
+
+from repro.lap.chip import LAPConfig, LinearAlgebraProcessor
+from repro.lap.memory import MemoryHierarchy, TileResidency
+from repro.lap.runtime import LAPRuntime
+from repro.lap.taskgraph import AlgorithmsByBlocks
+
+
+def test_residency_accounting_throughput(benchmark, bench_json):
+    """Accounting a 5984-task Cholesky graph through the LRU is cheap."""
+    graph = AlgorithmsByBlocks(tile=128).cholesky_tasks(4096)
+    lap = LinearAlgebraProcessor(LAPConfig(num_cores=8, nr=4,
+                                           onchip_memory_mbytes=2.0))
+
+    # Per-call timing inside the callable: the JSON payload must not be
+    # inflated by pytest-benchmark's calibration rounds.
+    last = {}
+
+    def account():
+        started = time.perf_counter()
+        hierarchy = MemoryHierarchy.for_chip(lap, tile=128)
+        for task in graph:
+            hierarchy.account(task)
+        hierarchy.finish()
+        last["elapsed"] = time.perf_counter() - started
+        return hierarchy
+
+    hierarchy = benchmark(account)
+    elapsed = last["elapsed"]
+    assert len(hierarchy.events) == len(graph)
+    assert hierarchy.traffic_bytes > 0
+    assert elapsed < 30.0  # bookkeeping only; typically milliseconds
+    bench_json("memory_residency_throughput", {
+        "num_tasks": len(graph),
+        "elapsed_seconds": elapsed,
+        "tasks_per_second": len(graph) / elapsed if elapsed else None,
+        "traffic_bytes": hierarchy.traffic_bytes,
+    })
+
+
+def test_capacity_pressure_traffic_trend(bench_json):
+    """Traffic grows monotonically as the working set is squeezed, and the
+    memory_aware policy moves no more bytes than greedy at every point."""
+    capacities_kb = (64.0, 8.0, 6.0, 4.0, 3.0)
+    rows = []
+    for policy in ("greedy", "memory_aware"):
+        for kb in capacities_kb:
+            lap = LinearAlgebraProcessor(LAPConfig(num_cores=2, nr=4,
+                                                   onchip_memory_mbytes=1.0))
+            runtime = LAPRuntime(lap, 8, policy=policy, timing="memoized",
+                                 on_chip_kb=kb)
+            stats = runtime.run_blocked_cholesky(48, np.random.default_rng(0),
+                                                 verify=False)
+            rows.append({
+                "policy": policy,
+                "on_chip_kb": kb,
+                "traffic_bytes": stats["offchip_traffic_bytes"],
+                "spill_bytes": stats["spill_bytes"],
+                "stall_cycles": stats["stall_cycles"],
+                "makespan_cycles": stats["makespan_cycles"],
+                "gflops_per_w": stats["gflops_per_w"],
+            })
+    by_policy = {}
+    for row in rows:
+        by_policy.setdefault(row["policy"], []).append(row)
+    for policy_rows in by_policy.values():
+        traffic = [r["traffic_bytes"] for r in policy_rows]  # shrinking kb
+        assert traffic == sorted(traffic)
+        assert policy_rows[0]["spill_bytes"] == 0      # fits entirely
+        assert policy_rows[-1]["spill_bytes"] > 0      # thrashes
+    for g, m in zip(by_policy["greedy"], by_policy["memory_aware"]):
+        assert m["traffic_bytes"] <= g["traffic_bytes"]
+        if g["spill_bytes"] > 0:
+            assert m["traffic_bytes"] < g["traffic_bytes"]
+    bench_json("memory_capacity_pressure", {"rows": rows})
+
+
+def test_residency_lru_scales_linearly(benchmark):
+    """Touching N distinct tiles through a small LRU stays O(N)."""
+    res = TileResidency(capacity_bytes=64 * 512, tile_bytes=512)
+
+    def churn():
+        for i in range(20000):
+            res.touch([("A", (i % 4096, 0))], [])
+        return res
+
+    result = benchmark(churn)
+    assert result.peak_resident_bytes <= 64 * 512

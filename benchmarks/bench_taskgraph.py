@@ -20,21 +20,36 @@ from repro.lap.runtime import LAPRuntime
 from repro.lap.taskgraph import AlgorithmsByBlocks, TaskKind
 
 
-def test_taskgraph_build_and_analytics(benchmark):
+def test_taskgraph_build_and_analytics(benchmark, bench_json):
     """Building + analysing a 5984-task Cholesky graph stays interactive."""
+    # The JSON payload records the duration of one call (timed inside the
+    # callable): benchmark() may run many calibration rounds when
+    # pytest-benchmark is enabled, so timing around it would inflate the
+    # recorded trajectory.
+    last = {}
+
     def build():
+        started = time.perf_counter()
         graph = AlgorithmsByBlocks(tile=128).cholesky_tasks(4096)
-        return graph, graph.summary()
+        summary = graph.summary()
+        last["elapsed"] = time.perf_counter() - started
+        return graph, summary
 
     graph, summary = benchmark(build)
+    elapsed = last["elapsed"]
     nb = 4096 // 128
     assert summary["num_tasks"] == len(graph) == nb * (nb + 1) * (nb + 2) // 6
     assert summary["kind_counts"][TaskKind.CHOLESKY.value] == nb
     assert summary["critical_path_tasks"] == 3 * (nb - 1) + 1
     assert summary["width"] >= nb
+    bench_json("taskgraph_build", {
+        "num_tasks": summary["num_tasks"],
+        "build_and_analytics_seconds": elapsed,
+        "tasks_per_second": summary["num_tasks"] / elapsed if elapsed else None,
+    })
 
 
-def test_scheduler_throughput_on_large_graph(benchmark):
+def test_scheduler_throughput_on_large_graph(benchmark, bench_json):
     """The ready-heap loop schedules a warm 816-task graph in well under a
     second (the old O(V^2) rescan was the bottleneck at this size)."""
     lap = LinearAlgebraProcessor(LAPConfig(num_cores=8, nr=4,
@@ -44,21 +59,33 @@ def test_scheduler_throughput_on_large_graph(benchmark):
     # Warm the per-signature cycle cache once outside the measured region.
     runtime.run_blocked_cholesky(512, rng, verify=False)
 
-    def schedule():
-        return runtime.run_blocked_cholesky(512, np.random.default_rng(1),
-                                            verify=False)
+    # Per-call timing inside the callable: the JSON payload must not be
+    # inflated by pytest-benchmark's calibration rounds.
+    last = {}
 
-    started = time.perf_counter()
+    def schedule():
+        started = time.perf_counter()
+        stats = runtime.run_blocked_cholesky(512, np.random.default_rng(1),
+                                             verify=False)
+        last["elapsed"] = time.perf_counter() - started
+        return stats
+
     stats = benchmark(schedule)
-    elapsed = time.perf_counter() - started
+    elapsed = last["elapsed"]
     assert stats["tasks_executed"] == 816
     assert stats["parallel_efficiency"] > 0.5
     # Warm scheduling throughput: hundreds of tasks per second at minimum
     # (in practice thousands); guards against reintroducing the O(V^2) scan.
     assert elapsed < 30.0
+    bench_json("scheduler_throughput", {
+        "tasks_executed": stats["tasks_executed"],
+        "elapsed_seconds": elapsed,
+        "tasks_per_second": stats["tasks_executed"] / elapsed if elapsed else None,
+        "parallel_efficiency": stats["parallel_efficiency"],
+    })
 
 
-def test_memoized_2048_cholesky_10x_faster_than_functional():
+def test_memoized_2048_cholesky_10x_faster_than_functional(bench_json):
     """Acceptance: a 2048^2 blocked Cholesky at tile 128 schedules >= 10x
     faster under memoized timing than the functional path would cost.
 
@@ -90,3 +117,10 @@ def test_memoized_2048_cholesky_10x_faster_than_functional():
         f"functional path only {functional_estimate:.2f}s")
     # Makespan fidelity of the fast path is covered by
     # tests/test_lap_taskgraph.py::TestTimingModels.
+    bench_json("memoized_cholesky_2048", {
+        "tasks_executed": stats["tasks_executed"],
+        "memoized_seconds": memoized_seconds,
+        "estimated_functional_seconds": functional_estimate,
+        "speedup": functional_estimate / memoized_seconds,
+        "warm_runs": timing.warm_runs,
+    })

@@ -17,10 +17,13 @@ Provides five sub-commands:
     cached sweep engine and report the Pareto frontier
     (``python -m repro.cli sweep --runner design --grid cores=4,8,16
     --grid nr=2,4,8``).  The ``lap_runtime`` runner additionally sweeps the
-    task-graph runtime's scheduling policies and timing models
-    (``... sweep --runner lap_runtime --set algorithm=qr
-    --set timing=memoized --grid policy=greedy,critical_path,locality
-    --grid num_cores=2,4``).
+    task-graph runtime's scheduling policies, timing models and memory
+    hierarchy (``... sweep --runner lap_runtime --set algorithm=qr
+    --set timing=memoized
+    --grid policy=greedy,critical_path,locality,memory_aware
+    --grid num_cores=2,4``; constrain the tile working set with
+    ``--grid on_chip_kb=64,6,3`` and the off-chip bandwidth with
+    ``--set bandwidth_gbs=16`` to surface spills, stalls and energy).
 ``cache``
     inspect and manage the on-disk sweep result cache
     (``python -m repro.cli cache stats`` / ``... cache prune --max-mb 64``

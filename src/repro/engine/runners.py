@@ -58,7 +58,9 @@ RUNNER_VERSIONS: Dict[str, int] = {
     "core_gemm": 1,
     "blas": 1,
     "fact_kernel": 1,
-    "lap_runtime": 2,
+    # v3: data-movement-aware runtime -- traffic/stall/energy columns, the
+    # memory_aware policy and the on_chip_kb / bandwidth_gbs axes.
+    "lap_runtime": 3,
     "blocked_fact": 1,
     "experiment": 1,
 }
@@ -86,7 +88,8 @@ KNOWN_PARAMS: Dict[str, frozenset] = {
                               "precision", "frequency_ghz", "local_store_kbytes"}),
     "lap_runtime": frozenset({"algorithm", "n", "tile", "num_cores", "nr",
                               "onchip_mbytes", "seed", "policy", "timing",
-                              "verify", "core_frequencies_ghz"}),
+                              "verify", "core_frequencies_ghz", "memory",
+                              "on_chip_kb", "bandwidth_gbs"}),
     "blocked_fact": frozenset({"method", "n", "nr", "seed", "use_extension",
                                "frequency_ghz"}),
     "experiment": frozenset({"exp_id"}),
@@ -374,20 +377,26 @@ def run_lap_runtime(params: Params) -> dict:
     requested scheduling policy and timing model, and reports makespan /
     load-balance / graph analytics / correctness.
 
-    ``policy`` selects the scheduler (greedy / critical_path / locality),
-    ``timing`` the timing model (functional / memoized), ``verify`` keeps
-    the tile data exact under memoized timing (residual available), and
-    ``core_frequencies_ghz`` accepts per-core clocks for heterogeneous-tile
-    studies: a sequence, a single number (applied to every core), or a
-    delimited string -- ``"1.0,2.0"`` or ``"1.0:2.0"`` (the colon form
-    survives the sweep CLI's comma-separated axis syntax, e.g.
-    ``--set core_frequencies_ghz=1.0:2.0``).
+    ``policy`` selects the scheduler (greedy / critical_path / locality /
+    memory_aware), ``timing`` the timing model (functional / memoized),
+    ``verify`` keeps the tile data exact under memoized timing (residual
+    available), and ``core_frequencies_ghz`` accepts per-core clocks for
+    heterogeneous-tile studies: a sequence, a single number (applied to
+    every core), or a delimited string -- ``"1.0,2.0"`` or ``"1.0:2.0"``
+    (the colon form survives the sweep CLI's comma-separated axis syntax,
+    e.g. ``--set core_frequencies_ghz=1.0:2.0``).
+
+    Data movement is simulated through the runtime's memory-hierarchy layer
+    (``memory=False`` disables it): ``on_chip_kb`` constrains the tile
+    working set below the chip's physical on-chip memory and
+    ``bandwidth_gbs`` overrides the sustained off-chip bandwidth; rows gain
+    traffic / spill / stall / energy / GFLOPS-per-W columns.
     """
     import numpy as np
 
     from repro.lap.chip import LAPConfig, LinearAlgebraProcessor
+    from repro.lap.policies import GEMMScheduler
     from repro.lap.runtime import LAPRuntime
-    from repro.lap.scheduler import GEMMScheduler
     from repro.lap.taskgraph import AlgorithmsByBlocks
 
     algorithm = str(params.get("algorithm", "gemm")).lower()
@@ -403,6 +412,11 @@ def run_lap_runtime(params: Params) -> dict:
     policy = str(params.get("policy", "greedy"))
     timing = str(params.get("timing", "functional"))
     verify = bool(params.get("verify", True))
+    memory = bool(params.get("memory", True))
+    on_chip_kb = params.get("on_chip_kb")
+    on_chip_kb = None if on_chip_kb is None else float(on_chip_kb)
+    bandwidth_gbs = params.get("bandwidth_gbs")
+    bandwidth_gbs = None if bandwidth_gbs is None else float(bandwidth_gbs)
     frequencies_param = params.get("core_frequencies_ghz")
     if frequencies_param is None:
         frequencies = None
@@ -419,7 +433,8 @@ def run_lap_runtime(params: Params) -> dict:
     lap = LinearAlgebraProcessor(LAPConfig(num_cores=num_cores, nr=nr,
                                            onchip_memory_mbytes=onchip_mbytes))
     runtime = LAPRuntime(lap, tile, policy=policy, timing=timing,
-                         core_frequencies_ghz=frequencies)
+                         core_frequencies_ghz=frequencies, memory=memory,
+                         on_chip_kb=on_chip_kb, bandwidth_gbs=bandwidth_gbs)
     rng = np.random.default_rng(seed)
     stats = runtime.run_workload(algorithm, n, rng, verify=verify)
     if algorithm == "gemm":
@@ -433,7 +448,7 @@ def run_lap_runtime(params: Params) -> dict:
     busy = stats["per_core_busy_cycles"]
     graph = stats["graph"]
     residual = stats["residual"]
-    return {
+    row = {
         "algorithm": algorithm,
         "n": n,
         "tile": tile,
@@ -457,7 +472,24 @@ def run_lap_runtime(params: Params) -> dict:
         "parallel_efficiency": float(stats["parallel_efficiency"]),
         "static_load_balance": static_balance,
         "residual": None if residual is None else float(residual),
+        "memory": memory,
     }
+    if memory:
+        row.update({
+            "on_chip_kb": float(stats["on_chip_capacity_bytes"]) / 1024.0,
+            "bandwidth_gbs": float(stats["bandwidth_gbs"]),
+            "traffic_bytes": int(round(stats["offchip_traffic_bytes"])),
+            "compulsory_bytes": int(round(stats["compulsory_bytes"])),
+            "spill_bytes": int(round(stats["spill_bytes"])),
+            "writeback_bytes": int(round(stats["writeback_bytes"])),
+            "stall_cycles": float(stats["stall_cycles"]),
+            "energy_j": float(stats["energy_j"]),
+            "total_flops": float(stats["total_flops"]),
+            "arithmetic_intensity": float(stats["arithmetic_intensity"]),
+            "gflops_per_w": float(stats["gflops_per_w"]),
+            "peak_resident_kb": float(stats["peak_resident_bytes"]) / 1024.0,
+        })
+    return row
 
 
 def run_blocked_factorization(params: Params) -> dict:

@@ -430,11 +430,14 @@ def runtime_policy_comparison(sizes: Sequence[int] = (32, 64),
     """Makespan and parallel efficiency vs scheduling policy x cores x size.
 
     Schedules blocked Cholesky task graphs through the LAP runtime under
-    every scheduling policy (greedy earliest-core, critical-path priority,
-    locality-aware), with memoized timing so the sweep scales to larger
-    graphs; the ``speedup_vs_greedy`` column quantifies what a smarter
-    policy buys at each design point.  Expands through :mod:`repro.engine`
-    like every other multi-point figure (cached, parallel).
+    every *registered* scheduling policy (greedy earliest-core,
+    critical-path priority, locality-aware, memory-aware -- the sweep
+    follows ``policy_names()``, so registering a new policy intentionally
+    grows this experiment's rows and its golden), with memoized timing so
+    the sweep scales to larger graphs; the ``speedup_vs_greedy`` column
+    quantifies what a smarter policy buys at each design point.  Expands
+    through :mod:`repro.engine` like every other multi-point figure
+    (cached, parallel).
     """
     from repro.lap.policies import policy_names
 
@@ -459,4 +462,50 @@ def runtime_policy_comparison(sizes: Sequence[int] = (32, 64),
         "parallel_efficiency": row["parallel_efficiency"],
         "speedup_vs_greedy": (greedy_makespan[(row["n"], row["num_cores"])]
                               / row["makespan_cycles"]),
+    } for row in result.rows]
+
+
+# ------------------------------------------- Runtime memory-capacity sweep
+def runtime_memory_capacity_sweep(on_chip_kb: Sequence[float] = (64.0, 6.0, 3.0),
+                                  policies: Sequence[str] = ("greedy",
+                                                             "memory_aware"),
+                                  n: int = 48, tile: int = 8,
+                                  num_cores: int = 2) -> List[Dict]:
+    """Off-chip traffic / stalls / energy vs on-chip capacity x policy.
+
+    The data-movement experiment of the memory-hierarchy layer: a blocked
+    Cholesky task graph is scheduled under shrinking on-chip capacity (the
+    first point holds the whole working set, the others force spills) with
+    the plain ``greedy`` scheduler and the residency-driven ``memory_aware``
+    one.  Rows report the quantities the paper optimises -- off-chip bytes,
+    bandwidth-stall cycles, per-schedule energy and GFLOPS/W -- plus the
+    traffic ratio against greedy at the same capacity.
+    """
+    spec = (SweepSpec()
+            .constants(algorithm="cholesky", n=n, tile=tile, nr=4, seed=0,
+                       num_cores=num_cores, timing="memoized", verify=False)
+            .grid(policy=tuple(policies), on_chip_kb=tuple(on_chip_kb)))
+    result = sweep(spec.jobs("lap_runtime"), **_engine_kwargs())
+    greedy_traffic = {row["on_chip_kb"]: row["traffic_bytes"]
+                      for row in result.rows if row["policy"] == "greedy"}
+
+    def _vs_greedy(row):
+        baseline = greedy_traffic.get(row["on_chip_kb"])
+        return row["traffic_bytes"] / baseline if baseline else None
+
+    return [{
+        "policy": row["policy"],
+        "on_chip_kb": float(row["on_chip_kb"]),
+        "n": int(row["n"]),
+        "tile": int(row["tile"]),
+        "num_cores": int(row["num_cores"]),
+        "traffic_bytes": int(row["traffic_bytes"]),
+        "compulsory_bytes": int(row["compulsory_bytes"]),
+        "spill_bytes": int(row["spill_bytes"]),
+        "stall_cycles": float(row["stall_cycles"]),
+        "makespan_cycles": int(row["makespan_cycles"]),
+        "energy_j": float(row["energy_j"]),
+        "gflops_per_w": float(row["gflops_per_w"]),
+        "arithmetic_intensity": float(row["arithmetic_intensity"]),
+        "traffic_vs_greedy": _vs_greedy(row),
     } for row in result.rows]

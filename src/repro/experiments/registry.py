@@ -162,6 +162,9 @@ _register("table_b_3", "table", "App. B.4",
 _register("runtime_policies", "figure", "Ch. 5 programming env.",
           "LAP-runtime makespan/efficiency vs scheduling policy x cores x size",
           figures.runtime_policy_comparison)
+_register("runtime_memory", "figure", "Sec. 4.2.3 data movement",
+          "Off-chip traffic / stalls / energy vs on-chip capacity x policy",
+          figures.runtime_memory_capacity_sweep)
 
 
 # ------------------------------------------------------- methodology extras

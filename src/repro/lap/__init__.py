@@ -6,20 +6,25 @@ off-chip memory interface.  This subpackage provides:
 
 * :mod:`repro.lap.chip` -- the chip object tying cores, on-chip memory and
   the off-chip interface together, with chip-wide cycle/energy accounting;
-* :mod:`repro.lap.scheduler` -- the panel-blocking scheduler that distributes
-  a large GEMM across the cores exactly as Figure 4.1 describes (each core
+* :mod:`repro.lap.policies` -- all scheduling code: the pluggable task-graph
+  policies (greedy / critical_path / locality / memory_aware) plus the
+  static panel-blocking :class:`GEMMScheduler` of Figure 4.1 (each core
   owns a row panel of C; panels of B are broadcast to all cores);
+* :mod:`repro.lap.memory` -- the unified memory-hierarchy layer: LRU tile
+  residency over the on-chip capacity, spill/refill accounting, bandwidth
+  stalls and per-task energy;
 * :mod:`repro.lap.offchip` -- traffic accounting for the external memory,
   including the extra blocking layer used when C does not fit on chip.
 """
 
 from repro.lap.chip import LinearAlgebraProcessor, LAPConfig
-from repro.lap.scheduler import GEMMScheduler, PanelAssignment
 from repro.lap.offchip import OffChipTrafficModel
 from repro.lap.taskgraph import (AlgorithmsByBlocks, TaskDescriptor, TaskGraph,
                                  TaskKind)
-from repro.lap.policies import (POLICIES, SchedulerPolicy, get_policy,
-                                policy_names)
+from repro.lap.policies import (POLICIES, GEMMScheduler, PanelAssignment,
+                                SchedulerPolicy, get_policy, policy_names)
+from repro.lap.memory import (BandwidthModel, MemoryHierarchy, TaskEnergyModel,
+                              TaskMemoryEvent, TileResidency)
 from repro.lap.timing import (TIMING_MODELS, FunctionalTiming, MemoizedTiming,
                               TimingModel, get_timing_model, timing_names)
 from repro.lap.runtime import LAPRuntime, TaskExecution
@@ -30,6 +35,11 @@ __all__ = [
     "GEMMScheduler",
     "PanelAssignment",
     "OffChipTrafficModel",
+    "BandwidthModel",
+    "MemoryHierarchy",
+    "TaskEnergyModel",
+    "TaskMemoryEvent",
+    "TileResidency",
     "AlgorithmsByBlocks",
     "LAPRuntime",
     "TaskDescriptor",

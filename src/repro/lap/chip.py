@@ -5,7 +5,7 @@ This object glues the pieces together at chip level:
 * it owns ``S`` :class:`repro.lac.core.LinearAlgebraCore` instances,
 * a shared :class:`repro.hw.memory.OnChipMemory` and an
   :class:`repro.hw.memory.OffChipInterface`,
-* the :class:`repro.lap.scheduler.GEMMScheduler` that splits large GEMMs into
+* the :class:`repro.lap.policies.GEMMScheduler` that splits large GEMMs into
   per-core row-panel work,
 * and the power/area aggregation that turns per-component models into the
   chip-level numbers reported in Chapter 4.
@@ -32,7 +32,7 @@ from repro.hw.sram import pe_store_a, pe_store_b
 from repro.kernels.gemm import lac_gemm
 from repro.lac.core import LACConfig, LinearAlgebraCore
 from repro.lac.pe import PEConfig
-from repro.lap.scheduler import GEMMScheduler
+from repro.lap.policies import GEMMScheduler
 from repro.models.chip_model import ChipGEMMModel, ChipModelResult
 from repro.models.power import PowerComponent, PowerModel, PowerBreakdown
 
@@ -85,6 +85,12 @@ class LAPConfig:
     def element_bytes(self) -> int:
         """Bytes per matrix element at the configured precision."""
         return self.precision.bytes
+
+    def fmac(self) -> FMACUnit:
+        """Derive the FMAC model shared by the compute and energy models."""
+        return FMACUnit(precision=self.precision,
+                        frequency_ghz=self.frequency_ghz,
+                        pipeline_stages=self.mac_pipeline_stages)
 
     def pe_config(self) -> PEConfig:
         """Derive the simulator PE configuration from the capacities."""
@@ -191,8 +197,7 @@ class LinearAlgebraProcessor:
         supplying the streaming bandwidth of the analytical model.
         """
         cfg = self.config
-        fmac = FMACUnit(precision=cfg.precision, frequency_ghz=cfg.frequency_ghz,
-                        pipeline_stages=cfg.mac_pipeline_stages)
+        fmac = cfg.fmac()
         store_a = pe_store_a(int(cfg.pe_store_a_kbytes * 1024))
         store_b = pe_store_b(int(cfg.pe_store_b_kbytes * 1024))
         bus = BroadcastBus(width_bits=cfg.precision.bits, span_pes=cfg.nr)
@@ -241,7 +246,7 @@ class LinearAlgebraProcessor:
     def area_mm2(self) -> float:
         """Total chip area: PEs (MAC + stores + bus share) plus on-chip memory."""
         cfg = self.config
-        fmac = FMACUnit(precision=cfg.precision, frequency_ghz=cfg.frequency_ghz)
+        fmac = cfg.fmac()
         store_a = pe_store_a(int(cfg.pe_store_a_kbytes * 1024))
         store_b = pe_store_b(int(cfg.pe_store_b_kbytes * 1024))
         from repro.hw.bus import BUS_AREA_PER_PE_MM2

@@ -1,0 +1,380 @@
+"""Unified memory-hierarchy layer for the LAP runtime.
+
+The dissertation's central argument is that a linear-algebra processor wins
+by keeping tiles resident in its multi-megabyte on-chip memory and
+amortising off-chip traffic over many tile operations.  This module models
+exactly that data movement for the task-graph runtime:
+
+* :class:`TileResidency` -- an LRU working set of logical tiles over the
+  :class:`repro.hw.memory.OnChipMemory` capacity.  Tiles are fetched from
+  off-chip on first touch (*compulsory* traffic, overlapped with compute by
+  the double-buffered streaming the LAP is designed around), re-fetched when
+  capacity pressure evicted them (*spill* traffic, which stalls), and dirty
+  tiles are written back on eviction and at the end of the schedule.
+* :class:`BandwidthModel` -- converts spill refill bytes into stall cycles
+  through the sustained bandwidth of the
+  :class:`repro.hw.memory.OffChipInterface`.
+* :class:`TaskEnergyModel` -- per-task energy from three first-order terms:
+  pJ/flop of the FMAC units, pJ/byte of on-chip SRAM accesses and pJ/byte
+  moved across the chip boundary, so a schedule reports GFLOPS/W like the
+  paper's headline comparisons.
+* :class:`MemoryHierarchy` -- composes the three into the per-task
+  accounting record (:class:`TaskMemoryEvent`) the runtime's event loop
+  consumes, plus whole-schedule totals.
+
+The closed-form streaming traffic of a monolithic GEMM
+(:func:`gemm_stream_traffic`) also lives here;
+:mod:`repro.lap.offchip` keeps its historical API as a thin shim on top.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.hw.fpu import FMACUnit
+from repro.hw.memory import OffChipInterface, OnChipMemory
+from repro.lap.taskgraph import TaskDescriptor, TileAccess, task_flops
+
+__all__ = [
+    "BandwidthModel", "MemoryHierarchy", "TaskEnergyModel", "TaskMemoryEvent",
+    "TileResidency", "gemm_stream_traffic",
+]
+
+
+def gemm_stream_traffic(n: int, element_bytes: int = 8,
+                        resident_fraction_of_c: float = 1.0) -> Dict[str, float]:
+    """Closed-form off-chip traffic of a streamed ``n x n x n`` GEMM.
+
+    The canonical LAP blocking keeps a block of C resident and streams the
+    panels of A and B past it.  With only a fraction of C resident, the A
+    and B panels are re-streamed once per resident sub-block
+    (``1 / fraction`` times); C is read and written exactly once either way.
+    Returns the per-operand byte counts; :class:`repro.lap.offchip`'s
+    ``TrafficSummary`` is a named view of this dictionary.
+    """
+    if n <= 0:
+        raise ValueError("problem size must be positive")
+    if element_bytes <= 0:
+        raise ValueError("element bytes must be positive")
+    if not (0.0 < resident_fraction_of_c <= 1.0):
+        raise ValueError("the resident fraction of C must lie in (0, 1]")
+    refetch = 1.0 / resident_fraction_of_c
+    matrix_bytes = float(n) * n * element_bytes
+    return {
+        "a_bytes": matrix_bytes * refetch,
+        "b_bytes": matrix_bytes * refetch,
+        "c_read_bytes": matrix_bytes,
+        "c_write_bytes": matrix_bytes,
+    }
+
+
+@dataclass
+class TaskMemoryEvent:
+    """Data-movement accounting of one scheduled task.
+
+    ``refill_bytes`` splits into ``compulsory_bytes`` (first-ever fetch of a
+    tile, overlapped with compute by the streaming design, no stall) and
+    ``spill_refill_bytes`` (re-fetch of a tile the working set evicted,
+    which exceeds the streaming budget and stalls the task).
+    ``writeback_bytes`` counts dirty evictions this task's fetches forced.
+    """
+
+    task_id: int
+    refill_bytes: float = 0.0
+    compulsory_bytes: float = 0.0
+    spill_refill_bytes: float = 0.0
+    writeback_bytes: float = 0.0
+    stall_cycles: float = 0.0
+    energy_j: float = 0.0
+    flops: float = 0.0
+
+    @property
+    def offchip_bytes(self) -> float:
+        """Bytes this task moved across the chip boundary."""
+        return self.refill_bytes + self.writeback_bytes
+
+
+class TileResidency:
+    """LRU working set of logical tiles over an on-chip capacity.
+
+    Tiles are identified by ``(operand, (block_row, block_col))`` names
+    (aliasing already resolved by the task-graph builders) and all occupy
+    ``tile_bytes``.  A task's footprint is *pinned* while it is brought
+    resident, so one task's tiles never evict each other; a footprint larger
+    than the capacity is allowed to overflow transiently (the schedule then
+    thrashes, which the spill counters make visible).
+    """
+
+    def __init__(self, capacity_bytes: float, tile_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("on-chip capacity must be positive")
+        if tile_bytes <= 0:
+            raise ValueError("tile bytes must be positive")
+        self.capacity_bytes = float(capacity_bytes)
+        self.tile_bytes = int(tile_bytes)
+        self._lru: "OrderedDict[TileAccess, None]" = OrderedDict()
+        self._dirty: set = set()
+        self._ever_loaded: set = set()
+        self.peak_resident_bytes = 0
+        #: Monotonic state version; bumped by every touch() so schedulers can
+        #: detect stale residency-based priorities.
+        self.version = 0
+
+    # ------------------------------------------------------------- queries
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._lru) * self.tile_bytes
+
+    def is_resident(self, access: TileAccess) -> bool:
+        return access in self._lru
+
+    def missing_bytes(self, accesses: Iterable[TileAccess]) -> int:
+        """Bytes a footprint would have to fetch right now (no state change)."""
+        missing = {a for a in accesses if a not in self._lru}
+        return len(missing) * self.tile_bytes
+
+    # ------------------------------------------------------------- updates
+    def _evict_down_to_capacity(self, pinned: set) -> Tuple[int, float]:
+        evictions = 0
+        writeback = 0.0
+        while (self.resident_bytes > self.capacity_bytes
+               and any(key not in pinned for key in self._lru)):
+            victim = next(key for key in self._lru if key not in pinned)
+            del self._lru[victim]
+            evictions += 1
+            if victim in self._dirty:
+                self._dirty.discard(victim)
+                writeback += self.tile_bytes
+        return evictions, writeback
+
+    def touch(self, reads: Iterable[TileAccess],
+              writes: Iterable[TileAccess]) -> Tuple[float, float, float, float]:
+        """Bring a task's footprint resident; returns the traffic it caused.
+
+        Returns ``(refill, compulsory, spill_refill, writeback)`` in bytes.
+        Read tiles and written tiles are both fetched (every tile kernel
+        is read-modify-write at the granularity of a tile); written tiles
+        are marked dirty so their eventual eviction costs a writeback.
+        """
+        reads = list(reads)
+        writes = list(writes)
+        footprint: List[TileAccess] = []
+        for access in reads + writes:
+            if access not in footprint:
+                footprint.append(access)
+        pinned = set(footprint)
+        refill = compulsory = spill = 0.0
+        for access in footprint:
+            if access in self._lru:
+                self._lru.move_to_end(access)
+                continue
+            refill += self.tile_bytes
+            if access in self._ever_loaded:
+                spill += self.tile_bytes
+            else:
+                compulsory += self.tile_bytes
+                self._ever_loaded.add(access)
+            self._lru[access] = None
+        for access in writes:
+            self._dirty.add(access)
+        evictions, writeback = self._evict_down_to_capacity(pinned)
+        self.peak_resident_bytes = max(self.peak_resident_bytes,
+                                       self.resident_bytes)
+        # The version tracks *membership* changes only (what missing_bytes
+        # sees); fully-resident touches are no-ops for priority scoring, so
+        # leaving the version alone spares dynamic schedulers a pointless
+        # re-validation pass in the common no-spill regime.
+        if refill > 0 or evictions > 0:
+            self.version += 1
+        return refill, compulsory, spill, writeback
+
+    def flush(self) -> float:
+        """Write back every remaining dirty tile; returns the bytes moved."""
+        writeback = float(len(self._dirty) * self.tile_bytes)
+        self._dirty.clear()
+        self._lru.clear()
+        self.version += 1
+        return writeback
+
+
+class BandwidthModel:
+    """Converts off-chip refill bytes into stall cycles of the core clock."""
+
+    def __init__(self, interface: OffChipInterface, frequency_ghz: float):
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        self.interface = interface
+        self.frequency_ghz = float(frequency_ghz)
+
+    def stall_cycles(self, num_bytes: float) -> float:
+        """Cycles the interface needs to move ``num_bytes`` (0 for 0 bytes)."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.interface.transfer_cycles(num_bytes, self.frequency_ghz)
+
+
+class TaskEnergyModel:
+    """First-order per-task energy: compute + on-chip SRAM + off-chip pJ.
+
+    ``energy = flops * J/flop + onchip_bytes * J/byte + offchip_bytes *
+    J/byte``.  The per-flop energy comes from the FMAC model (one MAC is two
+    flops), the on-chip per-byte energy from the banked SRAM's per-access
+    energy, and the off-chip per-byte energy from the DRAM interface
+    (~60 pJ/byte by default).
+    """
+
+    def __init__(self, fmac: FMACUnit, onchip: OnChipMemory,
+                 interface: OffChipInterface):
+        self.energy_per_flop_j = fmac.energy_per_mac_j / 2.0
+        word_bytes = max(1, onchip.word_bytes)
+        self.onchip_energy_per_byte_j = onchip.energy_per_access_j() / word_bytes
+        self.offchip_energy_per_byte_j = interface.energy_per_byte_j
+
+    def task_energy_j(self, flops: float, onchip_bytes: float,
+                      offchip_bytes: float) -> float:
+        if min(flops, onchip_bytes, offchip_bytes) < 0:
+            raise ValueError("flops and byte counts must be non-negative")
+        return (flops * self.energy_per_flop_j
+                + onchip_bytes * self.onchip_energy_per_byte_j
+                + offchip_bytes * self.offchip_energy_per_byte_j)
+
+
+class MemoryHierarchy:
+    """Per-schedule data-movement simulator the runtime event loop drives.
+
+    One instance accounts one ``execute()`` call: the runtime feeds it every
+    task in dispatch order, it tracks tile residency, converts spill refills
+    into stall cycles, attributes energy per task, and accumulates the
+    whole-schedule totals (:meth:`summary`).
+    """
+
+    def __init__(self, capacity_bytes: float, tile: int, element_bytes: int,
+                 interface: OffChipInterface, onchip: OnChipMemory,
+                 fmac: FMACUnit, frequency_ghz: float):
+        if tile <= 0 or element_bytes <= 0:
+            raise ValueError("tile size and element bytes must be positive")
+        self.tile = int(tile)
+        self.element_bytes = int(element_bytes)
+        tile_bytes = self.tile * self.tile * self.element_bytes
+        self.residency = TileResidency(capacity_bytes, tile_bytes)
+        self.bandwidth = BandwidthModel(interface, frequency_ghz)
+        self.energy = TaskEnergyModel(fmac, onchip, interface)
+        self.events: List[TaskMemoryEvent] = []
+        self.total_flops = 0.0
+        self.total_energy_j = 0.0
+        self.total_stall_cycles = 0.0
+        self.compulsory_bytes = 0.0
+        self.spill_bytes = 0.0
+        self.writeback_bytes = 0.0
+        self._flushed = False
+
+    @classmethod
+    def for_chip(cls, lap, tile: int,
+                 on_chip_kb: Optional[float] = None,
+                 bandwidth_gbs: Optional[float] = None) -> "MemoryHierarchy":
+        """Build the hierarchy of one chip, with optional capacity/BW overrides.
+
+        ``on_chip_kb`` shrinks (or grows) the residency capacity relative to
+        the chip's physical on-chip memory -- the axis the capacity sweeps
+        move; ``bandwidth_gbs`` overrides the sustained off-chip bandwidth.
+        Energy coefficients always come from the chip's component models.
+        """
+        cfg = lap.config
+        capacity = (cfg.onchip_memory_mbytes * 1024 * 1024
+                    if on_chip_kb is None else float(on_chip_kb) * 1024)
+        interface = (lap.offchip if bandwidth_gbs is None
+                     else OffChipInterface(
+                         bandwidth_gbytes_per_sec=float(bandwidth_gbs),
+                         energy_per_byte_j=lap.offchip.energy_per_byte_j))
+        fmac = cfg.fmac()
+        return cls(capacity_bytes=capacity, tile=tile,
+                   element_bytes=cfg.element_bytes, interface=interface,
+                   onchip=lap.onchip_memory, fmac=fmac,
+                   frequency_ghz=cfg.frequency_ghz)
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def version(self) -> int:
+        """Residency state version (for stale-priority detection)."""
+        return self.residency.version
+
+    def task_missing_bytes(self, task: TaskDescriptor) -> int:
+        """Bytes the task would have to fetch if dispatched right now."""
+        return self.residency.missing_bytes(task.touched_tiles())
+
+    def account(self, task: TaskDescriptor) -> TaskMemoryEvent:
+        """Account one dispatched task; returns its data-movement record."""
+        if self._flushed:
+            raise RuntimeError("memory hierarchy already flushed; build a new "
+                               "one per schedule")
+        reads, writes = task.read_tiles(), task.write_tiles()
+        refill, compulsory, spill, writeback = self.residency.touch(reads, writes)
+        stall = self.bandwidth.stall_cycles(spill)
+        flops = task_flops(task, self.tile)
+        tile_bytes = self.residency.tile_bytes
+        onchip_bytes = (len(reads) + len(writes)) * tile_bytes
+        energy = self.energy.task_energy_j(flops, onchip_bytes,
+                                           refill + writeback)
+        event = TaskMemoryEvent(task_id=task.task_id, refill_bytes=refill,
+                                compulsory_bytes=compulsory,
+                                spill_refill_bytes=spill,
+                                writeback_bytes=writeback, stall_cycles=stall,
+                                energy_j=energy, flops=flops)
+        self.events.append(event)
+        self.total_flops += flops
+        self.total_energy_j += energy
+        self.total_stall_cycles += stall
+        self.compulsory_bytes += compulsory
+        self.spill_bytes += spill
+        self.writeback_bytes += writeback
+        return event
+
+    def finish(self) -> float:
+        """Flush dirty tiles at the end of the schedule; returns the bytes."""
+        if self._flushed:
+            return 0.0
+        self._flushed = True
+        writeback = self.residency.flush()
+        self.writeback_bytes += writeback
+        self.total_energy_j += self.energy.task_energy_j(0.0, 0.0, writeback)
+        return writeback
+
+    # -------------------------------------------------------------- totals
+    @property
+    def traffic_bytes(self) -> float:
+        """Total off-chip traffic: all refills plus all writebacks."""
+        return self.compulsory_bytes + self.spill_bytes + self.writeback_bytes
+
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of off-chip traffic (0.0 when nothing moved)."""
+        traffic = self.traffic_bytes
+        return self.total_flops / traffic if traffic > 0 else 0.0
+
+    def gflops_per_watt(self) -> float:
+        """Energy efficiency of the schedule (flops per nJ).
+
+        GFLOPS/W is flops-per-second over joules-per-second, so the
+        schedule's wall time cancels and the ratio is ``flops / J / 1e9``.
+        """
+        if self.total_energy_j <= 0:
+            return 0.0
+        return self.total_flops / self.total_energy_j / 1e9
+
+    def summary(self) -> Dict[str, float]:
+        """Whole-schedule data-movement totals for stats rows."""
+        return {
+            "offchip_traffic_bytes": self.traffic_bytes,
+            "compulsory_bytes": self.compulsory_bytes,
+            "spill_bytes": self.spill_bytes,
+            "writeback_bytes": self.writeback_bytes,
+            "stall_cycles": self.total_stall_cycles,
+            "energy_j": self.total_energy_j,
+            "total_flops": self.total_flops,
+            "arithmetic_intensity": self.arithmetic_intensity(),
+            "gflops_per_w": self.gflops_per_watt(),
+            "peak_resident_bytes": float(self.residency.peak_resident_bytes),
+            "on_chip_capacity_bytes": self.residency.capacity_bytes,
+            "bandwidth_gbs": self.bandwidth.interface.bandwidth_gbytes_per_sec,
+        }

@@ -4,6 +4,11 @@ Separates the external-memory view of a GEMM from the on-chip execution: how
 many bytes cross the chip boundary, at what rate they must arrive to keep the
 cores busy, and what happens when the on-chip memory is too small to hold the
 whole block of C (the extra blocking layer of Section 4.2.3).
+
+Since the memory-hierarchy refactor the byte counts themselves come from
+:func:`repro.lap.memory.gemm_stream_traffic` -- the closed-form limit of the
+tile-residency model for a streamed monolithic GEMM -- and this module is a
+thin, API-compatible view over them (equivalence is pinned by the tests).
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.hw.memory import OffChipInterface
+from repro.lap.memory import gemm_stream_traffic
 
 
 @dataclass(frozen=True)
@@ -25,6 +31,13 @@ class TrafficSummary:
     c_read_bytes: float
     c_write_bytes: float
 
+    def __post_init__(self) -> None:
+        if self.element_bytes <= 0:
+            raise ValueError("element bytes must be positive")
+        if min(self.a_bytes, self.b_bytes, self.c_read_bytes,
+               self.c_write_bytes) < 0:
+            raise ValueError("byte counts must be non-negative")
+
     @property
     def total_bytes(self) -> float:
         """Total off-chip traffic."""
@@ -32,9 +45,15 @@ class TrafficSummary:
 
     @property
     def arithmetic_intensity(self) -> float:
-        """Flops per byte of off-chip traffic."""
+        """Flops per byte of off-chip traffic.
+
+        Degenerate problems (``n <= 0`` or nothing moved) report ``0.0``
+        rather than ``inf`` so downstream ratios and sweep rows stay finite.
+        """
         flops = 2.0 * float(self.n) ** 3
-        return flops / self.total_bytes if self.total_bytes > 0 else float("inf")
+        if self.n <= 0 or self.total_bytes <= 0:
+            return 0.0
+        return flops / self.total_bytes
 
 
 class OffChipTrafficModel:
@@ -43,6 +62,8 @@ class OffChipTrafficModel:
     def __init__(self, num_cores: int, nr: int = 4, element_bytes: int = 8):
         if num_cores < 1:
             raise ValueError("need at least one core")
+        if element_bytes <= 0:
+            raise ValueError("element bytes must be positive")
         self.num_cores = num_cores
         self.nr = nr
         self.element_bytes = element_bytes
@@ -54,18 +75,11 @@ class OffChipTrafficModel:
         can be kept resident; smaller fractions mean the panels of A and B are
         re-streamed once per resident sub-block (``1/fraction`` times).
         """
-        if n <= 0:
-            raise ValueError("problem size must be positive")
-        if not (0.0 < onchip_fraction_of_c <= 1.0):
-            raise ValueError("the resident fraction of C must lie in (0, 1]")
-        eb = self.element_bytes
-        refetch = 1.0 / onchip_fraction_of_c
-        a_bytes = float(n) * n * eb * refetch
-        b_bytes = float(n) * n * eb * refetch
-        c_read = float(n) * n * eb
-        c_write = float(n) * n * eb
-        return TrafficSummary(n=n, element_bytes=eb, a_bytes=a_bytes, b_bytes=b_bytes,
-                              c_read_bytes=c_read, c_write_bytes=c_write)
+        parts = gemm_stream_traffic(n, self.element_bytes, onchip_fraction_of_c)
+        return TrafficSummary(n=n, element_bytes=self.element_bytes,
+                              a_bytes=parts["a_bytes"], b_bytes=parts["b_bytes"],
+                              c_read_bytes=parts["c_read_bytes"],
+                              c_write_bytes=parts["c_write_bytes"])
 
     def bandwidth_bound_gflops(self, n: int, interface: OffChipInterface,
                                onchip_fraction_of_c: float = 1.0) -> float:

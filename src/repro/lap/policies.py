@@ -1,9 +1,9 @@
-"""Pluggable scheduling policies for the LAP runtime.
+"""Scheduling policies for the LAP: the single scheduling code path.
 
 The runtime's event-driven loop (:mod:`repro.lap.runtime`) keeps a heap of
 *ready* tasks and a per-core availability clock; the policy decides two
 things: the heap priority of a ready task and the core a popped task runs
-on.  Three policies are provided:
+on.  Four policies are provided:
 
 ``greedy``
     the original earliest-core list scheduler: tasks are ordered by the
@@ -18,14 +18,29 @@ on.  Three policies are provided:
     greedy ordering, but a task prefers the core that last wrote its output
     tile (the tile is already resident in that core's local store), falling
     back to the earliest-starting core when the owner would delay the start.
+``memory_aware``
+    generalises ``locality`` to the chip-level working set: ready tasks are
+    scored by how many bytes of their tile footprint are *not* resident in
+    on-chip memory (fewest missing bytes first, i.e. maximal reuse of what
+    is already on chip), with the locality core preference on top.  The
+    runtime binds its :class:`repro.lap.memory.MemoryHierarchy` to the
+    policy and re-validates heap priorities lazily when the residency state
+    moved on (``dynamic_priority``), so the ordering tracks the simulated
+    working set instead of a stale snapshot.
 
 Policies are stateless between :meth:`SchedulerPolicy.prepare` calls, so one
 instance can schedule many graphs.
+
+The *static* panel pre-scheduler of the monolithic GEMM path
+(:class:`GEMMScheduler` / :class:`PanelAssignment`) also lives here now, so
+all scheduling code shares one module; ``repro.lap.scheduler`` remains as a
+deprecated import shim.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.lap.taskgraph import TaskDescriptor, TaskGraph
 
@@ -36,8 +51,19 @@ class SchedulerPolicy:
     #: Registry name (subclasses override).
     name = "greedy"
 
+    #: Whether heap priorities depend on mutable memory-residency state and
+    #: must be lazily re-validated by the runtime when that state changes.
+    dynamic_priority = False
+
     def prepare(self, graph: Sequence[TaskDescriptor]) -> None:
         """Precompute per-graph state (e.g. priorities) before scheduling."""
+
+    def bind_memory(self, memory) -> None:
+        """Receive the runtime's memory hierarchy for this schedule.
+
+        Called once per ``execute()`` (with ``None`` when data-movement
+        accounting is disabled); only residency-driven policies care.
+        """
 
     def priority(self, task: TaskDescriptor, ready_time: float) -> Tuple:
         """Heap key of a ready task; lower keys are popped first.
@@ -98,11 +124,40 @@ class LocalityAware(SchedulerPolicy):
                                   0 if i == owner else 1, i))
 
 
+class MemoryAware(LocalityAware):
+    """Score ready tasks by resident-tile reuse over the on-chip working set.
+
+    Priority key: ``(missing_bytes, ready_time)`` -- among ready tasks the
+    one whose tile footprint needs the fewest off-chip fetches right now
+    runs first, so the schedule works resident data to completion before
+    streaming new tiles in.  Without a bound memory hierarchy (data-movement
+    accounting disabled) every score is zero and the policy degrades to
+    greedy ordering.  Core selection is inherited from ``locality``: the
+    chip-level residency is shared, so the only per-core signal is who last
+    wrote the output tile.
+    """
+
+    name = "memory_aware"
+    dynamic_priority = True
+
+    def __init__(self) -> None:
+        self._memory = None
+
+    def bind_memory(self, memory) -> None:
+        self._memory = memory
+
+    def priority(self, task: TaskDescriptor, ready_time: float) -> Tuple:
+        missing = (self._memory.task_missing_bytes(task)
+                   if self._memory is not None else 0)
+        return (missing, ready_time)
+
+
 #: Registry of scheduling policies by CLI/runner name.
 POLICIES: Dict[str, type] = {
     GreedyEarliestCore.name: GreedyEarliestCore,
     CriticalPathPriority.name: CriticalPathPriority,
     LocalityAware.name: LocalityAware,
+    MemoryAware.name: MemoryAware,
 }
 
 
@@ -122,3 +177,111 @@ def get_policy(policy: Union[str, SchedulerPolicy, None]) -> SchedulerPolicy:
     except KeyError:
         raise ValueError(f"unknown scheduling policy '{policy}'; known "
                          f"policies: {', '.join(policy_names())}") from None
+
+
+# --------------------------------------------------------------------------
+# Static panel pre-scheduler (Figure 4.1), folded in from the pre-task-graph
+# ``repro.lap.scheduler`` module so that one module owns all scheduling code.
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PanelAssignment:
+    """Assignment of one ``mc``-row panel of C (and A) to one core."""
+
+    core_index: int
+    row_start: int
+    row_end: int            #: exclusive
+    panel_index: int        #: global index of the row panel
+
+    @property
+    def rows(self) -> int:
+        """Number of matrix rows in the panel."""
+        return self.row_end - self.row_start
+
+
+class GEMMScheduler:
+    """Distributes the row panels of C over the cores of a LAP.
+
+    Figure 4.1 of the dissertation describes how a large ``C += A B`` is
+    split across cores: the on-chip memory holds an ``n x n`` block of C
+    plus the current ``kc x n`` row panel of B; each core is assigned a
+    distinct set of ``mc``-row panels of C (and the matching row panels of
+    A), while every core shares the same panel of B.  This is the *static*
+    counterpart of the task-graph policies above: it produces an up-front
+    panel assignment for the monolithic GEMM path instead of scheduling a
+    dependency graph event by event.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of cores (``S``).
+    nr:
+        Core dimension; panel heights must be multiples of ``nr``.
+    """
+
+    def __init__(self, num_cores: int, nr: int = 4):
+        if num_cores < 1:
+            raise ValueError("the LAP needs at least one core")
+        if nr < 2:
+            raise ValueError("core dimension must be >= 2")
+        self.num_cores = num_cores
+        self.nr = nr
+
+    def choose_mc(self, n: int, onchip_capacity_words: float, kc: int) -> int:
+        """Pick the largest panel height whose A blocks fit next to C on chip.
+
+        The on-chip memory must hold ``n^2`` words of C, ``S * mc * kc`` words
+        of A blocks and ``2 * kc * n`` words of B panels; mc is rounded down
+        to a multiple of ``nr`` and at least ``nr``.
+        """
+        if n <= 0 or kc <= 0:
+            raise ValueError("problem dimensions must be positive")
+        if onchip_capacity_words <= 0:
+            raise ValueError("on-chip capacity must be positive")
+        available = onchip_capacity_words - float(n) * n - 2.0 * kc * n
+        if available <= 0:
+            return self.nr
+        mc = int(available / (self.num_cores * kc))
+        mc = max(self.nr, (mc // self.nr) * self.nr)
+        # A panel taller than the share of the problem assigned to one core is
+        # pointless.
+        per_core_rows = max(self.nr, (n // (self.num_cores * self.nr)) * self.nr)
+        return min(mc, per_core_rows) if per_core_rows >= self.nr else self.nr
+
+    def assign_panels(self, n: int, mc: int) -> List[PanelAssignment]:
+        """Round-robin assignment of ``mc``-row panels of C to cores.
+
+        The final panel may be shorter when ``n`` is not a multiple of ``mc``;
+        it is still a multiple of ``nr`` because callers validate ``n``.
+        """
+        if n <= 0 or mc <= 0:
+            raise ValueError("problem size and panel height must be positive")
+        if n % self.nr != 0 or mc % self.nr != 0:
+            raise ValueError("n and mc must be multiples of the core size nr")
+        assignments: List[PanelAssignment] = []
+        panel_index = 0
+        for row_start in range(0, n, mc):
+            row_end = min(row_start + mc, n)
+            assignments.append(PanelAssignment(
+                core_index=panel_index % self.num_cores,
+                row_start=row_start,
+                row_end=row_end,
+                panel_index=panel_index,
+            ))
+            panel_index += 1
+        return assignments
+
+    def per_core_work(self, assignments: Sequence[PanelAssignment]) -> Dict[int, List[PanelAssignment]]:
+        """Group the panel assignments by core index."""
+        out: Dict[int, List[PanelAssignment]] = {i: [] for i in range(self.num_cores)}
+        for a in assignments:
+            out[a.core_index].append(a)
+        return out
+
+    def load_balance(self, assignments: Sequence[PanelAssignment]) -> float:
+        """Ratio of the lightest to the heaviest per-core row count (1.0 = perfect)."""
+        work = self.per_core_work(assignments)
+        rows = [sum(a.rows for a in panels) for panels in work.values()]
+        busiest = max(rows) if rows else 0
+        if busiest == 0:
+            return 1.0
+        return min(rows) / busiest

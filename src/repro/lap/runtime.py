@@ -14,15 +14,20 @@ The runtime is layered (TaskGraph -> Scheduler -> TimingModel -> LAP):
   :class:`TaskDescriptor`, :class:`TaskGraph` and the
   :class:`AlgorithmsByBlocks` decompositions (GEMM, Cholesky, LU, tiled QR);
 * :mod:`repro.lap.policies` -- pluggable scheduling policies (greedy
-  earliest-core, critical-path priority, locality-aware) driving an
-  event-driven ready-heap loop (O(V log V + E) instead of the old O(V^2)
-  rescan);
+  earliest-core, critical-path priority, locality-aware, memory-aware)
+  driving an event-driven ready-heap loop (O(V log V + E) for the static
+  policies, instead of the old O(V^2) rescan);
 * :mod:`repro.lap.timing` -- timing models: ``functional`` executes every
   task on the cycle-level simulator, ``memoized`` caches per-(kind, shape,
   precision) cycle counts after one functional run so that large graphs
   schedule in seconds;
+* :mod:`repro.lap.memory` -- the unified memory-hierarchy layer: an LRU
+  tile-residency model over the on-chip capacity plus a bandwidth model
+  that turns spill refills into stall cycles and a per-task energy model
+  (pJ/flop + pJ/byte); every schedule reports off-chip traffic, stalls and
+  GFLOPS/W alongside the makespan;
 * :class:`LAPRuntime` (this module) -- the driver/dispatcher that binds the
-  three to the cores of a :class:`repro.lap.chip.LinearAlgebraProcessor`,
+  four to the cores of a :class:`repro.lap.chip.LinearAlgebraProcessor`,
   optionally with heterogeneous per-core clock frequencies.
 
 ``AlgorithmsByBlocks``, ``TaskDescriptor`` and ``TaskKind`` are re-exported
@@ -44,10 +49,12 @@ from repro.kernels.qr import lac_apply_reflectors
 from repro.kernels.syrk import lac_syrk
 from repro.kernels.trsm import lac_trsm
 from repro.lap.chip import LinearAlgebraProcessor
+from repro.lap.memory import MemoryHierarchy
 from repro.lap.policies import SchedulerPolicy, get_policy
 from repro.lap.taskgraph import (AlgorithmsByBlocks, TaskDescriptor, TaskGraph,
                                  TaskKind)
-from repro.lap.timing import TimingModel, get_timing_model, task_signature
+from repro.lap.timing import (TimingModel, compose_task_cycles,
+                              get_timing_model, task_signature)
 from repro.reference.factorizations import (ref_apply_reflectors,
                                             ref_householder_qr_factored,
                                             ref_lu_nopivot)
@@ -63,7 +70,9 @@ class TaskExecution:
     """Record of one executed task (which core ran it, and when).
 
     Times are in cycles of the reference clock (the chip frequency); with
-    homogeneous cores they are exact integers.
+    homogeneous cores and no bandwidth stalls they are exact integers.
+    ``stall_cycles`` / ``refill_bytes`` / ``energy_j`` carry the task's
+    data-movement accounting when the memory hierarchy is enabled.
     """
 
     task_id: int
@@ -71,6 +80,9 @@ class TaskExecution:
     core_index: int
     start_cycle: float
     end_cycle: float
+    stall_cycles: float = 0.0
+    refill_bytes: float = 0.0
+    energy_j: float = 0.0
 
     @property
     def cycles(self) -> float:
@@ -122,17 +134,48 @@ class LAPRuntime:
         defaults to the homogeneous chip frequency.  Scheduling then happens
         in reference-clock cycles (task cycles are scaled by
         ``f_ref / f_core``), where the reference clock is the chip frequency.
+    memory:
+        Data-movement accounting: ``True`` (default) simulates tile
+        residency / bandwidth stalls / energy through a fresh
+        :class:`repro.lap.memory.MemoryHierarchy` per ``execute()``;
+        ``False`` disables it (compute-only scheduling, the pre-refactor
+        behaviour).
+    on_chip_kb:
+        Override of the residency capacity in KiB (defaults to the chip's
+        physical on-chip memory) -- the axis capacity sweeps shrink.
+    bandwidth_gbs:
+        Override of the sustained off-chip bandwidth in GB/s (defaults to
+        the chip's off-chip interface).
+    stall_overlap:
+        Fraction of spill-refill stall cycles hidden under compute by
+        prefetching, in [0, 1] (see
+        :func:`repro.lap.timing.compose_task_cycles`); 0 (default) fully
+        serialises spill refills, 1 hides them entirely.
     """
 
     def __init__(self, lap: LinearAlgebraProcessor, tile: int,
                  policy: Union[str, SchedulerPolicy, None] = "greedy",
                  timing: Union[str, TimingModel, None] = "functional",
-                 core_frequencies_ghz: Optional[Sequence[float]] = None):
+                 core_frequencies_ghz: Optional[Sequence[float]] = None,
+                 memory: bool = True,
+                 on_chip_kb: Optional[float] = None,
+                 bandwidth_gbs: Optional[float] = None,
+                 stall_overlap: float = 0.0):
         self.lap = lap
         self.tile = tile
         self.library = AlgorithmsByBlocks(tile, nr=lap.config.nr)
         self.policy = get_policy(policy)
         self.timing = get_timing_model(timing)
+        self.memory_enabled = bool(memory)
+        self.on_chip_kb = on_chip_kb
+        self.bandwidth_gbs = bandwidth_gbs
+        if not (0.0 <= stall_overlap <= 1.0):
+            raise ValueError("stall_overlap must lie in [0, 1]")
+        self.stall_overlap = float(stall_overlap)
+        #: Memory hierarchy of the most recent ``execute()`` call (or None);
+        #: named distinctly from the ``memory`` enable flag, which is stored
+        #: as ``memory_enabled``.
+        self.last_memory: Optional[MemoryHierarchy] = None
         reference = lap.config.frequency_ghz
         if core_frequencies_ghz is None:
             frequencies = [reference] * len(lap.cores)
@@ -355,7 +398,17 @@ class LAPRuntime:
 
         The loop is event driven: a heap of ready tasks ordered by the
         scheduling policy and a single accumulation pass over per-core busy
-        time -- O(V log V + E) overall.
+        time -- O(V log V + E) for the static policies.  With data-movement accounting
+        enabled every dispatched task also updates the tile-residency model
+        (in dispatch order, the serialisation the shared on-chip memory
+        sees); spill refills stall the task through the off-chip bandwidth
+        and the stats gain unified traffic / stall / energy totals.
+        Policies with ``dynamic_priority`` (memory_aware) have stale heap
+        keys lazily re-validated against the current residency state; that
+        re-validation is bounded at one refresh per entry between
+        executions, so those policies are worst-case O(V^2 log V) (in
+        practice close to the static bound, since only entries that reach
+        the heap top are refreshed).
         """
         task_list = list(tasks)
         by_id: Dict[int, TaskDescriptor] = {}
@@ -374,7 +427,15 @@ class LAPRuntime:
                 # Unknown dependency ids can never complete; the task stays
                 # unscheduled and the deadlock check below reports it.
 
+        memory = (MemoryHierarchy.for_chip(self.lap, self.tile,
+                                           on_chip_kb=self.on_chip_kb,
+                                           bandwidth_gbs=self.bandwidth_gbs)
+                  if self.memory_enabled else None)
+        self.last_memory = memory
         self.policy.prepare(tasks if isinstance(tasks, TaskGraph) else task_list)
+        self.policy.bind_memory(memory)
+        dynamic = bool(getattr(self.policy, "dynamic_priority", False)
+                       and memory is not None)
         ctx = _ExecutionContext(self, tiles)
         num_cores = len(self.lap.cores)
         reference_freq = self.lap.config.frequency_ghz
@@ -386,16 +447,33 @@ class LAPRuntime:
         end_time: Dict[int, float] = {}
         self.executions = []
 
+        # Heap entries are (priority_tuple, task_id, residency_version): the
+        # policy key orders tasks, the task id breaks ties exactly as the
+        # pre-refactor flat tuples did, and the trailing version stamp lets
+        # dynamic policies detect keys computed against a residency state
+        # that has since moved on (it never influences the ordering).
+        version = memory.version if memory is not None else 0
         heap: List[Tuple] = []
         for task in task_list:
             if indegree[task.task_id] == 0:
                 ready_time[task.task_id] = 0
-                heapq.heappush(heap, (*self.policy.priority(task, 0), task.task_id))
+                heapq.heappush(heap, (self.policy.priority(task, 0),
+                                      task.task_id, version))
 
         while heap:
-            entry = heapq.heappop(heap)
-            task = by_id[entry[-1]]
-            ready = ready_time[task.task_id]
+            key, task_id, stamp = heapq.heappop(heap)
+            task = by_id[task_id]
+            ready = ready_time[task_id]
+            if dynamic and stamp != memory.version:
+                # Lazy re-validation: recompute the stale key; if the task no
+                # longer leads the heap, push it back and look again.  Keys
+                # are re-stamped with the current version, and the version
+                # only advances when a task executes, so every entry is
+                # refreshed at most once between executions (bounded work).
+                key = self.policy.priority(task, ready)
+                if heap and (key, task_id) > (heap[0][0], heap[0][1]):
+                    heapq.heappush(heap, (key, task_id, memory.version))
+                    continue
             ctx.core_index = core_index = self.policy.choose_core(
                 task, ready, core_free_at, tile_owner)
             cycles = self.timing.task_cycles(task, ctx, verify)
@@ -403,22 +481,39 @@ class LAPRuntime:
                 duration = cycles
             else:
                 duration = cycles * reference_freq / self.core_frequencies_ghz[core_index]
+            compute_duration = duration
+            stall = 0.0
+            refill = energy = 0.0
+            if memory is not None:
+                event = memory.account(task)
+                stall = event.stall_cycles
+                refill = event.refill_bytes
+                energy = event.energy_j
+                duration = compose_task_cycles(duration, stall,
+                                               self.stall_overlap)
             start = max(core_free_at[core_index], ready)
             end = start + duration
             core_free_at[core_index] = end
             busy_cycles[core_index] += cycles
-            busy_time[core_index] += duration
+            # Efficiency counts compute only: a stalled core is occupied but
+            # not doing useful work, so memory pressure must *lower* the
+            # reported parallel efficiency, never pad it.
+            busy_time[core_index] += compute_duration
             end_time[task.task_id] = end
             tile_owner[task.output] = core_index
             self.executions.append(TaskExecution(task.task_id, task.kind, core_index,
-                                                 start, end))
+                                                 start, end, stall_cycles=stall,
+                                                 refill_bytes=refill,
+                                                 energy_j=energy))
             for succ_id in successors[task.task_id]:
                 ready_time[succ_id] = max(ready_time.get(succ_id, 0), end)
                 indegree[succ_id] -= 1
                 if indegree[succ_id] == 0:
                     succ = by_id[succ_id]
-                    heapq.heappush(heap, (*self.policy.priority(
-                        succ, ready_time[succ_id]), succ_id))
+                    heapq.heappush(heap, (
+                        self.policy.priority(succ, ready_time[succ_id]),
+                        succ_id,
+                        memory.version if memory is not None else 0))
 
         if len(self.executions) != len(task_list):
             raise RuntimeError("task graph deadlock: circular dependencies")
@@ -435,6 +530,9 @@ class LAPRuntime:
             "makespan_ns": makespan / reference_freq,
             "data_valid": self.timing.keeps_data(verify),
         }
+        if memory is not None:
+            memory.finish()
+            stats.update(memory.summary())
         if isinstance(tasks, TaskGraph):
             stats["graph"] = tasks.summary()
         return stats

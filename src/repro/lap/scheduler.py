@@ -1,110 +1,20 @@
-"""Panel-blocking scheduler for GEMM across the cores of a LAP.
+"""Deprecated location of the static GEMM panel scheduler.
 
-Figure 4.1 of the dissertation describes how a large ``C += A B`` is split
-across cores: the on-chip memory holds an ``n x n`` block of C plus the
-current ``kc x n`` row panel of B; each core is assigned a distinct set of
-``mc``-row panels of C (and the matching row panels of A), while every core
-shares the same panel of B.  This module produces that assignment and the
-resulting per-core work lists so that the chip object can simulate or model
-the execution, and the tests can check coverage/disjointness invariants.
+The panel-blocking :class:`GEMMScheduler` and :class:`PanelAssignment` moved
+into :mod:`repro.lap.policies` so that the task-graph policies and the static
+pre-scheduler share one scheduling module.  This shim keeps historical
+imports working; new code should import from ``repro.lap.policies``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+import warnings
 
+from repro.lap.policies import GEMMScheduler, PanelAssignment
 
-@dataclass(frozen=True)
-class PanelAssignment:
-    """Assignment of one ``mc``-row panel of C (and A) to one core."""
+__all__ = ["GEMMScheduler", "PanelAssignment"]
 
-    core_index: int
-    row_start: int
-    row_end: int            #: exclusive
-    panel_index: int        #: global index of the row panel
-
-    @property
-    def rows(self) -> int:
-        """Number of matrix rows in the panel."""
-        return self.row_end - self.row_start
-
-
-class GEMMScheduler:
-    """Distributes the row panels of C over the cores of a LAP.
-
-    Parameters
-    ----------
-    num_cores:
-        Number of cores (``S``).
-    nr:
-        Core dimension; panel heights must be multiples of ``nr``.
-    """
-
-    def __init__(self, num_cores: int, nr: int = 4):
-        if num_cores < 1:
-            raise ValueError("the LAP needs at least one core")
-        if nr < 2:
-            raise ValueError("core dimension must be >= 2")
-        self.num_cores = num_cores
-        self.nr = nr
-
-    def choose_mc(self, n: int, onchip_capacity_words: float, kc: int) -> int:
-        """Pick the largest panel height whose A blocks fit next to C on chip.
-
-        The on-chip memory must hold ``n^2`` words of C, ``S * mc * kc`` words
-        of A blocks and ``2 * kc * n`` words of B panels; mc is rounded down
-        to a multiple of ``nr`` and at least ``nr``.
-        """
-        if n <= 0 or kc <= 0:
-            raise ValueError("problem dimensions must be positive")
-        if onchip_capacity_words <= 0:
-            raise ValueError("on-chip capacity must be positive")
-        available = onchip_capacity_words - float(n) * n - 2.0 * kc * n
-        if available <= 0:
-            return self.nr
-        mc = int(available / (self.num_cores * kc))
-        mc = max(self.nr, (mc // self.nr) * self.nr)
-        # A panel taller than the share of the problem assigned to one core is
-        # pointless.
-        per_core_rows = max(self.nr, (n // (self.num_cores * self.nr)) * self.nr)
-        return min(mc, per_core_rows) if per_core_rows >= self.nr else self.nr
-
-    def assign_panels(self, n: int, mc: int) -> List[PanelAssignment]:
-        """Round-robin assignment of ``mc``-row panels of C to cores.
-
-        The final panel may be shorter when ``n`` is not a multiple of ``mc``;
-        it is still a multiple of ``nr`` because callers validate ``n``.
-        """
-        if n <= 0 or mc <= 0:
-            raise ValueError("problem size and panel height must be positive")
-        if n % self.nr != 0 or mc % self.nr != 0:
-            raise ValueError("n and mc must be multiples of the core size nr")
-        assignments: List[PanelAssignment] = []
-        panel_index = 0
-        for row_start in range(0, n, mc):
-            row_end = min(row_start + mc, n)
-            assignments.append(PanelAssignment(
-                core_index=panel_index % self.num_cores,
-                row_start=row_start,
-                row_end=row_end,
-                panel_index=panel_index,
-            ))
-            panel_index += 1
-        return assignments
-
-    def per_core_work(self, assignments: Sequence[PanelAssignment]) -> Dict[int, List[PanelAssignment]]:
-        """Group the panel assignments by core index."""
-        out: Dict[int, List[PanelAssignment]] = {i: [] for i in range(self.num_cores)}
-        for a in assignments:
-            out[a.core_index].append(a)
-        return out
-
-    def load_balance(self, assignments: Sequence[PanelAssignment]) -> float:
-        """Ratio of the lightest to the heaviest per-core row count (1.0 = perfect)."""
-        work = self.per_core_work(assignments)
-        rows = [sum(a.rows for a in panels) for panels in work.values()]
-        busiest = max(rows) if rows else 0
-        if busiest == 0:
-            return 1.0
-        return min(rows) / busiest
+warnings.warn(
+    "repro.lap.scheduler is deprecated; import GEMMScheduler and "
+    "PanelAssignment from repro.lap.policies instead",
+    DeprecationWarning, stacklevel=2)

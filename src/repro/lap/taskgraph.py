@@ -15,9 +15,17 @@ that layer:
   Cholesky, LU (no pivoting across tiles) and tiled Householder QR into
   dependency-ordered tile graphs.
 
+Every task additionally carries its *data footprint*: the logical tiles it
+reads and writes, named ``(operand, (block_row, block_col))``.  The builders
+record footprints with aliasing resolved (a factorization updates one
+operand in place, so all of its tiles live under ``"A"``), which is what the
+tile-residency model of :mod:`repro.lap.memory` consumes to account on-chip
+working sets, spills and off-chip traffic.
+
 Schedulers (:mod:`repro.lap.policies`), timing models
-(:mod:`repro.lap.timing`) and the driver (:mod:`repro.lap.runtime`) all
-consume this IR; nothing here touches the simulator.
+(:mod:`repro.lap.timing`), the memory hierarchy (:mod:`repro.lap.memory`)
+and the driver (:mod:`repro.lap.runtime`) all consume this IR; nothing here
+touches the simulator.
 """
 
 from __future__ import annotations
@@ -50,6 +58,35 @@ class TaskKind(enum.Enum):
 FACTOR_KINDS = frozenset({TaskKind.CHOLESKY, TaskKind.LU, TaskKind.GEQRT,
                           TaskKind.TSQRT})
 
+#: One logical tile: (operand name, (block_row, block_col)).
+TileAccess = Tuple[str, Tuple[int, int]]
+
+#: First-order flop estimates per task kind for a ``t x t`` tile, used by the
+#: per-task energy model (pJ/flop) and arithmetic-intensity reporting.  The
+#: constants are the textbook leading-order counts; exact lower-order terms
+#: are irrelevant at the fidelity of the energy model.
+_TASK_FLOPS: Dict[TaskKind, Callable[[int], float]] = {
+    TaskKind.GEMM: lambda t: 2.0 * t ** 3,
+    TaskKind.SYRK: lambda t: float(t * t * (t + 1)),
+    TaskKind.TRSM: lambda t: float(t ** 3),
+    TaskKind.TRSM_RIGHT_T: lambda t: float(t ** 3),
+    TaskKind.TRSM_LOWER: lambda t: float(t ** 3),
+    TaskKind.TRSM_UPPER_RIGHT: lambda t: float(t ** 3),
+    TaskKind.CHOLESKY: lambda t: t ** 3 / 3.0,
+    TaskKind.LU: lambda t: 2.0 * t ** 3 / 3.0,
+    TaskKind.GEQRT: lambda t: 4.0 * t ** 3 / 3.0,
+    TaskKind.TSQRT: lambda t: 2.0 * t ** 3,
+    TaskKind.UNMQR: lambda t: 2.0 * t ** 3,
+    TaskKind.TSMQR: lambda t: 3.0 * t ** 3,
+}
+
+
+def task_flops(task: "TaskDescriptor", tile: int) -> float:
+    """Estimated useful flops of one tile task (leading-order count)."""
+    if tile <= 0:
+        raise ValueError("tile size must be positive")
+    return _TASK_FLOPS[task.kind](tile)
+
 
 @dataclass
 class TaskDescriptor:
@@ -62,6 +99,13 @@ class TaskDescriptor:
     (``-1`` for the trailing updates of a factorization) and ``transpose_b``
     requests the second operand transposed, which the LAC performs over its
     diagonal PEs at no extra bandwidth cost.
+
+    ``reads`` and ``writes`` are the task's data footprint as
+    ``(operand, coordinate)`` tile names.  The graph builders fill them in
+    with operand aliasing resolved (a factorization reads and writes one
+    matrix); when left ``None`` they are derived from ``kind`` /
+    ``inputs`` / ``output`` with the conventional operand names, which is
+    correct for hand-built graphs whose operand dictionaries do not alias.
     """
 
     task_id: int
@@ -71,10 +115,64 @@ class TaskDescriptor:
     depends_on: List[int] = field(default_factory=list)
     alpha: float = 1.0
     transpose_b: bool = False
+    reads: Optional[List[TileAccess]] = None
+    writes: Optional[List[TileAccess]] = None
 
     def __post_init__(self) -> None:
         if self.task_id < 0:
             raise ValueError("task ids must be non-negative")
+
+    # ----------------------------------------------------------- footprints
+    def _derived_footprint(self) -> Tuple[List[TileAccess], List[TileAccess]]:
+        """Kind-derived (reads, writes) with the conventional operand names."""
+        kind = self.kind
+        if kind is TaskKind.GEMM:
+            reads = [("A", self.inputs[0]), ("B", self.inputs[1]),
+                     ("C", self.output)]
+            writes = [("C", self.output)]
+        elif kind is TaskKind.SYRK:
+            reads = [("A", self.inputs[0]), ("C", self.output)]
+            writes = [("C", self.output)]
+        elif kind in (TaskKind.TRSM, TaskKind.TRSM_RIGHT_T, TaskKind.TRSM_LOWER,
+                      TaskKind.TRSM_UPPER_RIGHT):
+            reads = [("L", self.inputs[0]), ("B", self.output)]
+            writes = [("B", self.output)]
+        elif kind in (TaskKind.CHOLESKY, TaskKind.LU, TaskKind.GEQRT):
+            reads = [("A", self.output)]
+            writes = [("A", self.output)]
+        elif kind is TaskKind.TSQRT:
+            reads = [("A", self.inputs[0]), ("A", self.output)]
+            writes = [("A", self.inputs[0]), ("A", self.output)]
+        elif kind is TaskKind.UNMQR:
+            reads = [("A", self.inputs[0]), ("A", self.output)]
+            writes = [("A", self.output)]
+        elif kind is TaskKind.TSMQR:
+            reads = [("A", self.inputs[0]), ("A", self.inputs[1]),
+                     ("A", self.inputs[2])]
+            writes = [("A", self.inputs[1]), ("A", self.inputs[2])]
+        else:  # pragma: no cover - enum exhaustive
+            raise ValueError(f"unknown task kind {kind}")
+        return reads, writes
+
+    def read_tiles(self) -> List[TileAccess]:
+        """Tiles the task reads (explicit footprint or kind-derived)."""
+        if self.reads is not None:
+            return list(self.reads)
+        return self._derived_footprint()[0]
+
+    def write_tiles(self) -> List[TileAccess]:
+        """Tiles the task writes (explicit footprint or kind-derived)."""
+        if self.writes is not None:
+            return list(self.writes)
+        return self._derived_footprint()[1]
+
+    def touched_tiles(self) -> List[TileAccess]:
+        """Union of read and written tiles, duplicates removed, read-order."""
+        seen: List[TileAccess] = []
+        for access in self.read_tiles() + self.write_tiles():
+            if access not in seen:
+                seen.append(access)
+        return seen
 
 
 class TaskGraph(collections.abc.Sequence):
@@ -200,6 +298,24 @@ class TaskGraph(collections.abc.Sequence):
         lengths = self.critical_path_lengths(weight)
         return max(lengths.values(), default=0.0)
 
+    def working_set_tiles(self) -> List[TileAccess]:
+        """Unique ``(operand, coordinate)`` tiles any task touches."""
+        seen: Dict[TileAccess, None] = {}
+        for task in self._tasks:
+            for access in task.touched_tiles():
+                seen.setdefault(access, None)
+        return list(seen)
+
+    def working_set_bytes(self, tile: int, element_bytes: int = 8) -> int:
+        """Bytes of the full tile working set (`tile x tile` per tile)."""
+        if tile <= 0 or element_bytes <= 0:
+            raise ValueError("tile size and element bytes must be positive")
+        return len(self.working_set_tiles()) * tile * tile * element_bytes
+
+    def total_flops(self, tile: int) -> float:
+        """Leading-order flop count of the whole graph at one tile size."""
+        return sum(task_flops(task, tile) for task in self._tasks)
+
     def summary(self) -> Dict[str, object]:
         """Scalar graph metrics (handy for sweep rows and reports)."""
         return {
@@ -263,7 +379,10 @@ class AlgorithmsByBlocks:
                     task = TaskDescriptor(
                         task_id=self._next_id(), kind=TaskKind.GEMM,
                         output=(bi, bj), inputs=[(bi, bk), (bk, bj)],
-                        depends_on=[previous] if previous is not None else [])
+                        depends_on=[previous] if previous is not None else [],
+                        reads=[("A", (bi, bk)), ("B", (bk, bj)),
+                               ("C", (bi, bj))],
+                        writes=[("C", (bi, bj))])
                     tasks.append(task)
                     previous = task.task_id
         return TaskGraph(tasks)
@@ -284,7 +403,8 @@ class AlgorithmsByBlocks:
         for j in range(nb):
             chol = TaskDescriptor(self._next_id(), TaskKind.CHOLESKY, output=(j, j),
                                   inputs=[(j, j)],
-                                  depends_on=[written[(j, j)]] if (j, j) in written else [])
+                                  depends_on=[written[(j, j)]] if (j, j) in written else [],
+                                  reads=[("A", (j, j))], writes=[("A", (j, j))])
             tasks.append(chol)
             written[(j, j)] = chol.task_id
             for i in range(j + 1, nb):
@@ -292,7 +412,9 @@ class AlgorithmsByBlocks:
                 if (i, j) in written:
                     deps.append(written[(i, j)])
                 trsm = TaskDescriptor(self._next_id(), TaskKind.TRSM_RIGHT_T, output=(i, j),
-                                      inputs=[(j, j), (i, j)], depends_on=deps)
+                                      inputs=[(j, j), (i, j)], depends_on=deps,
+                                      reads=[("A", (j, j)), ("A", (i, j))],
+                                      writes=[("A", (i, j))])
                 tasks.append(trsm)
                 written[(i, j)] = trsm.task_id
             for i in range(j + 1, nb):
@@ -304,7 +426,10 @@ class AlgorithmsByBlocks:
                     update = TaskDescriptor(self._next_id(), kind, output=(i, k),
                                             inputs=[(i, j), (k, j)],
                                             depends_on=sorted(set(deps)),
-                                            alpha=-1.0, transpose_b=True)
+                                            alpha=-1.0, transpose_b=True,
+                                            reads=[("A", (i, j)), ("A", (k, j)),
+                                                   ("A", (i, k))],
+                                            writes=[("A", (i, k))])
                     tasks.append(update)
                     written[(i, k)] = update.task_id
         return TaskGraph(tasks)
@@ -329,7 +454,8 @@ class AlgorithmsByBlocks:
         for j in range(nb):
             lu = TaskDescriptor(self._next_id(), TaskKind.LU, output=(j, j),
                                 inputs=[(j, j)],
-                                depends_on=[written[(j, j)]] if (j, j) in written else [])
+                                depends_on=[written[(j, j)]] if (j, j) in written else [],
+                                reads=[("A", (j, j))], writes=[("A", (j, j))])
             tasks.append(lu)
             written[(j, j)] = lu.task_id
             for k in range(j + 1, nb):
@@ -338,7 +464,9 @@ class AlgorithmsByBlocks:
                     deps.append(written[(j, k)])
                 trsm = TaskDescriptor(self._next_id(), TaskKind.TRSM_LOWER,
                                       output=(j, k), inputs=[(j, j), (j, k)],
-                                      depends_on=deps)
+                                      depends_on=deps,
+                                      reads=[("A", (j, j)), ("A", (j, k))],
+                                      writes=[("A", (j, k))])
                 tasks.append(trsm)
                 written[(j, k)] = trsm.task_id
             for i in range(j + 1, nb):
@@ -347,7 +475,9 @@ class AlgorithmsByBlocks:
                     deps.append(written[(i, j)])
                 trsm = TaskDescriptor(self._next_id(), TaskKind.TRSM_UPPER_RIGHT,
                                       output=(i, j), inputs=[(j, j), (i, j)],
-                                      depends_on=deps)
+                                      depends_on=deps,
+                                      reads=[("A", (j, j)), ("A", (i, j))],
+                                      writes=[("A", (i, j))])
                 tasks.append(trsm)
                 written[(i, j)] = trsm.task_id
             for i in range(j + 1, nb):
@@ -358,7 +488,10 @@ class AlgorithmsByBlocks:
                     update = TaskDescriptor(self._next_id(), TaskKind.GEMM,
                                             output=(i, k), inputs=[(i, j), (j, k)],
                                             depends_on=sorted(set(deps)),
-                                            alpha=-1.0)
+                                            alpha=-1.0,
+                                            reads=[("A", (i, j)), ("A", (j, k)),
+                                                   ("A", (i, k))],
+                                            writes=[("A", (i, k))])
                     tasks.append(update)
                     written[(i, k)] = update.task_id
         return TaskGraph(tasks)
@@ -384,7 +517,8 @@ class AlgorithmsByBlocks:
         for j in range(nb):
             geqrt = TaskDescriptor(self._next_id(), TaskKind.GEQRT, output=(j, j),
                                    inputs=[(j, j)],
-                                   depends_on=[written[(j, j)]] if (j, j) in written else [])
+                                   depends_on=[written[(j, j)]] if (j, j) in written else [],
+                                   reads=[("A", (j, j))], writes=[("A", (j, j))])
             tasks.append(geqrt)
             written[(j, j)] = geqrt.task_id
             for k in range(j + 1, nb):
@@ -393,7 +527,9 @@ class AlgorithmsByBlocks:
                     deps.append(written[(j, k)])
                 unmqr = TaskDescriptor(self._next_id(), TaskKind.UNMQR,
                                        output=(j, k), inputs=[(j, j), (j, k)],
-                                       depends_on=deps)
+                                       depends_on=deps,
+                                       reads=[("A", (j, j)), ("A", (j, k))],
+                                       writes=[("A", (j, k))])
                 tasks.append(unmqr)
                 written[(j, k)] = unmqr.task_id
             for i in range(j + 1, nb):
@@ -402,7 +538,9 @@ class AlgorithmsByBlocks:
                     deps.append(written[(i, j)])
                 tsqrt = TaskDescriptor(self._next_id(), TaskKind.TSQRT,
                                        output=(i, j), inputs=[(j, j), (i, j)],
-                                       depends_on=sorted(set(deps)))
+                                       depends_on=sorted(set(deps)),
+                                       reads=[("A", (j, j)), ("A", (i, j))],
+                                       writes=[("A", (j, j)), ("A", (i, j))])
                 tasks.append(tsqrt)
                 # TSQRT rewrites the R on the diagonal *and* stores the
                 # reflectors in tile (i, j).
@@ -415,7 +553,10 @@ class AlgorithmsByBlocks:
                     tsmqr = TaskDescriptor(self._next_id(), TaskKind.TSMQR,
                                            output=(i, k),
                                            inputs=[(i, j), (j, k), (i, k)],
-                                           depends_on=sorted(set(deps)))
+                                           depends_on=sorted(set(deps)),
+                                           reads=[("A", (i, j)), ("A", (j, k)),
+                                                  ("A", (i, k))],
+                                           writes=[("A", (j, k)), ("A", (i, k))])
                     tasks.append(tsmqr)
                     written[(j, k)] = tsmqr.task_id
                     written[(i, k)] = tsmqr.task_id

@@ -41,6 +41,24 @@ def task_signature(task: TaskDescriptor, shapes: Tuple, precision: str) -> TaskS
             bool(task.transpose_b))
 
 
+def compose_task_cycles(compute_cycles: float, stall_cycles: float,
+                        overlap_fraction: float = 0.0) -> float:
+    """Compose compute cycles with bandwidth-stall cycles into one duration.
+
+    ``stall_cycles`` is the off-chip transfer time of the spill refills the
+    task caused (:class:`repro.lap.memory.BandwidthModel`); compulsory
+    streaming is assumed fully overlapped by the LAP's double buffering and
+    never appears here.  ``overlap_fraction`` models partial prefetching of
+    spill refills under compute (0 = fully serialised, the conservative
+    default; 1 = fully hidden).
+    """
+    if compute_cycles < 0 or stall_cycles < 0:
+        raise ValueError("cycle counts must be non-negative")
+    if not (0.0 <= overlap_fraction <= 1.0):
+        raise ValueError("overlap fraction must lie in [0, 1]")
+    return compute_cycles + stall_cycles * (1.0 - overlap_fraction)
+
+
 class TimingModel:
     """Base timing model: how a scheduled task obtains its cycle count.
 

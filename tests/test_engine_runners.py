@@ -142,7 +142,8 @@ class TestLapRuntimeRunner:
         assert row["graph_width"] >= 1
         assert row["static_load_balance"] is None
 
-    @pytest.mark.parametrize("policy", ["greedy", "critical_path", "locality"])
+    @pytest.mark.parametrize("policy", ["greedy", "critical_path", "locality",
+                                        "memory_aware"])
     def test_policy_rows_schedule_and_verify(self, policy):
         row = get_runner("lap_runtime")({"algorithm": "cholesky", "n": 16,
                                          "tile": 4, "num_cores": 2, "nr": 4,
@@ -176,6 +177,22 @@ class TestLapRuntimeRunner:
         single = runner({**base, "core_frequencies_ghz": "1.0"})
         assert single["core_frequencies_ghz"] == "1,1"
         assert single["makespan_cycles"] == homo["makespan_cycles"]
+
+    def test_memory_axes_constrain_the_schedule(self):
+        """The on_chip_kb / bandwidth_gbs axes drive spills and stalls."""
+        runner = get_runner("lap_runtime")
+        base = {"algorithm": "cholesky", "n": 48, "tile": 8, "num_cores": 2,
+                "seed": 0, "timing": "memoized", "verify": False}
+        free = runner(dict(base))
+        tight = runner({**base, "on_chip_kb": 4.0, "bandwidth_gbs": 16.0})
+        assert free["spill_bytes"] == 0 and free["stall_cycles"] == 0.0
+        assert tight["spill_bytes"] > 0 and tight["stall_cycles"] > 0.0
+        assert tight["traffic_bytes"] > free["traffic_bytes"]
+        assert tight["on_chip_kb"] == 4.0 and tight["bandwidth_gbs"] == 16.0
+        assert tight["gflops_per_w"] < free["gflops_per_w"]
+        aware = runner({**base, "on_chip_kb": 4.0, "bandwidth_gbs": 16.0,
+                        "policy": "memory_aware"})
+        assert aware["traffic_bytes"] < tight["traffic_bytes"]
 
     def test_unknown_algorithm_raises(self):
         with pytest.raises(ValueError, match="lap_runtime algorithm"):

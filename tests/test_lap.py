@@ -7,7 +7,7 @@ from repro.hw.fpu import Precision
 from repro.hw.memory import OffChipInterface
 from repro.lap.chip import LAPConfig, LinearAlgebraProcessor
 from repro.lap.offchip import OffChipTrafficModel
-from repro.lap.scheduler import GEMMScheduler
+from repro.lap.policies import GEMMScheduler
 
 
 # -------------------------------------------------------------- scheduler

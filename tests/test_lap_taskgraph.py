@@ -215,7 +215,7 @@ def _schedule_is_valid(runtime, graph):
 class TestPolicies:
     def test_registry(self):
         assert policy_names() == sorted(POLICIES) == [
-            "critical_path", "greedy", "locality"]
+            "critical_path", "greedy", "locality", "memory_aware"]
         assert get_policy("greedy").name == "greedy"
         instance = CriticalPathPriority()
         assert get_policy(instance) is instance
@@ -315,6 +315,37 @@ class TestHeterogeneousCores:
         f = hetero.run_blocked_cholesky(16, np.random.default_rng(3))
         assert f["makespan_cycles"] < h["makespan_cycles"]
         assert f["residual"] == h["residual"]
+
+    def test_faster_cores_accumulate_proportionally_more_work(self):
+        """A core clocked k x faster absorbs ~k x the compute cycles on a
+        wide graph of identical independent chains (greedy keeps feeding
+        whichever core frees up first)."""
+        hetero = make_runtime(num_cores=2, tile=8, timing="memoized",
+                              core_frequencies_ghz=[1.0, 3.0])
+        stats = hetero.run_blocked_gemm(48, np.random.default_rng(0),
+                                        verify=False)
+        slow, fast = stats["per_core_busy_cycles"]
+        assert fast > slow > 0
+        # 36 independent 6-task chains over cores at 1 and 3 GHz: the fast
+        # core should take close to 3x the tasks (quantisation leaves slack).
+        assert 2.0 <= fast / slow <= 4.0
+        fast_tasks = sum(1 for e in hetero.executions if e.core_index == 1)
+        slow_tasks = sum(1 for e in hetero.executions if e.core_index == 0)
+        assert fast_tasks > 2 * slow_tasks
+
+    def test_hetero_makespan_beats_homogeneous_slowest_baseline(self):
+        """Upgrading one core must beat the all-slowest-clock baseline."""
+        baseline = make_runtime(num_cores=2, tile=8, timing="memoized",
+                                core_frequencies_ghz=[1.0, 1.0])
+        hetero = make_runtime(num_cores=2, tile=8, timing="memoized",
+                              core_frequencies_ghz=[1.0, 2.0])
+        b = baseline.run_blocked_cholesky(48, np.random.default_rng(0),
+                                          verify=False)
+        h = hetero.run_blocked_cholesky(48, np.random.default_rng(0),
+                                        verify=False)
+        assert h["makespan_cycles"] < b["makespan_cycles"]
+        # The compute work itself is frequency-independent (same task set).
+        assert sum(h["per_core_busy_cycles"]) == sum(b["per_core_busy_cycles"])
 
     def test_homogeneous_override_is_identity(self):
         base = make_runtime(num_cores=2, tile=8)

@@ -11,7 +11,7 @@ from repro.kernels.gemm import lac_gemm
 from repro.kernels.trsm import lac_trsm
 from repro.lac.core import LinearAlgebraCore
 from repro.lac.stats import AccessCounters
-from repro.lap.scheduler import GEMMScheduler
+from repro.lap.policies import GEMMScheduler
 from repro.models.chip_model import ChipGEMMModel
 from repro.models.core_model import CoreGEMMModel
 from repro.models.power import PowerComponent, PowerModel
