@@ -20,10 +20,13 @@ Provides five sub-commands:
     task-graph runtime's scheduling policies, timing models and memory
     hierarchy (``... sweep --runner lap_runtime --set algorithm=qr
     --set timing=memoized
-    --grid policy=greedy,critical_path,locality,memory_aware
+    --grid policy=greedy,critical_path,locality,memory_aware,affinity
     --grid num_cores=2,4``; constrain the tile working set with
     ``--grid on_chip_kb=64,6,3`` and the off-chip bandwidth with
-    ``--set bandwidth_gbs=16`` to surface spills, stalls and energy).
+    ``--set bandwidth_gbs=16`` to surface spills, stalls and energy;
+    enable the per-core second level with ``--grid local_store_kb=1,2,4``
+    and sweep prefetch overlap with ``--grid stall_overlap=0,0.5,1`` for
+    local-hit-rate and per-level traffic columns).
 ``cache``
     inspect and manage the on-disk sweep result cache
     (``python -m repro.cli cache stats`` / ``... cache prune --max-mb 64``

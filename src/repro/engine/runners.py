@@ -58,9 +58,10 @@ RUNNER_VERSIONS: Dict[str, int] = {
     "core_gemm": 1,
     "blas": 1,
     "fact_kernel": 1,
-    # v3: data-movement-aware runtime -- traffic/stall/energy columns, the
-    # memory_aware policy and the on_chip_kb / bandwidth_gbs axes.
-    "lap_runtime": 3,
+    # v4: two-level memory hierarchy -- per-core local stores
+    # (local_store_kb axis, local-hit / shared-hit / core-to-core traffic
+    # columns), the affinity policy and the stall_overlap prefetch axis.
+    "lap_runtime": 4,
     "blocked_fact": 1,
     "experiment": 1,
 }
@@ -89,7 +90,8 @@ KNOWN_PARAMS: Dict[str, frozenset] = {
     "lap_runtime": frozenset({"algorithm", "n", "tile", "num_cores", "nr",
                               "onchip_mbytes", "seed", "policy", "timing",
                               "verify", "core_frequencies_ghz", "memory",
-                              "on_chip_kb", "bandwidth_gbs"}),
+                              "on_chip_kb", "bandwidth_gbs", "local_store_kb",
+                              "stall_overlap"}),
     "blocked_fact": frozenset({"method", "n", "nr", "seed", "use_extension",
                                "frequency_ghz"}),
     "experiment": frozenset({"exp_id"}),
@@ -391,6 +393,15 @@ def run_lap_runtime(params: Params) -> dict:
     working set below the chip's physical on-chip memory and
     ``bandwidth_gbs`` overrides the sustained off-chip bandwidth; rows gain
     traffic / spill / stall / energy / GFLOPS-per-W columns.
+
+    ``local_store_kb`` enables the two-level hierarchy (a per-core local
+    store above the shared on-chip level); rows then additionally split the
+    on-chip movement into local-hit / shared-to-local / core-to-core bytes
+    and report the local hit rate and transfer cycles.  ``stall_overlap``
+    exposes the prefetch-overlap fraction (0 = data-movement cycles fully
+    serialised, 1 = fully hidden) as a sweep axis.  Both columns appear
+    only when their parameter is given, so existing single-level rows stay
+    byte-identical.
     """
     import numpy as np
 
@@ -417,6 +428,10 @@ def run_lap_runtime(params: Params) -> dict:
     on_chip_kb = None if on_chip_kb is None else float(on_chip_kb)
     bandwidth_gbs = params.get("bandwidth_gbs")
     bandwidth_gbs = None if bandwidth_gbs is None else float(bandwidth_gbs)
+    local_store_kb = params.get("local_store_kb")
+    local_store_kb = None if local_store_kb is None else float(local_store_kb)
+    stall_overlap = params.get("stall_overlap")
+    stall_overlap = None if stall_overlap is None else float(stall_overlap)
     frequencies_param = params.get("core_frequencies_ghz")
     if frequencies_param is None:
         frequencies = None
@@ -434,7 +449,10 @@ def run_lap_runtime(params: Params) -> dict:
                                            onchip_memory_mbytes=onchip_mbytes))
     runtime = LAPRuntime(lap, tile, policy=policy, timing=timing,
                          core_frequencies_ghz=frequencies, memory=memory,
-                         on_chip_kb=on_chip_kb, bandwidth_gbs=bandwidth_gbs)
+                         on_chip_kb=on_chip_kb, bandwidth_gbs=bandwidth_gbs,
+                         local_store_kb=local_store_kb,
+                         stall_overlap=0.0 if stall_overlap is None
+                         else stall_overlap)
     rng = np.random.default_rng(seed)
     stats = runtime.run_workload(algorithm, n, rng, verify=verify)
     if algorithm == "gemm":
@@ -474,6 +492,8 @@ def run_lap_runtime(params: Params) -> dict:
         "residual": None if residual is None else float(residual),
         "memory": memory,
     }
+    if stall_overlap is not None:
+        row["stall_overlap"] = stall_overlap
     if memory:
         row.update({
             "on_chip_kb": float(stats["on_chip_capacity_bytes"]) / 1024.0,
@@ -489,6 +509,17 @@ def run_lap_runtime(params: Params) -> dict:
             "gflops_per_w": float(stats["gflops_per_w"]),
             "peak_resident_kb": float(stats["peak_resident_bytes"]) / 1024.0,
         })
+        if local_store_kb is not None:
+            row.update({
+                "local_store_kb": float(stats["local_store_kb"]),
+                "local_hit_bytes": int(round(stats["local_hit_bytes"])),
+                "shared_to_local_bytes": int(round(stats["shared_to_local_bytes"])),
+                "c2c_bytes": int(round(stats["c2c_bytes"])),
+                "local_hit_rate": float(stats["local_hit_rate"]),
+                "local_transfer_cycles": float(stats["local_transfer_cycles"]),
+                "peak_local_resident_kb": (
+                    float(stats["peak_local_resident_bytes"]) / 1024.0),
+            })
     return row
 
 

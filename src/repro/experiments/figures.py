@@ -509,3 +509,89 @@ def runtime_memory_capacity_sweep(on_chip_kb: Sequence[float] = (64.0, 6.0, 3.0)
         "arithmetic_intensity": float(row["arithmetic_intensity"]),
         "traffic_vs_greedy": _vs_greedy(row),
     } for row in result.rows]
+
+
+# ------------------------------------------- Runtime energy/runtime Pareto
+def _memory_subsystem_leakage_w(on_chip_kb: float, local_store_kb: float,
+                                num_cores: int) -> float:
+    """Static power of the swept memory configuration.
+
+    The shared level is modelled as the banked on-chip SRAM at the swept
+    capacity; each per-core local store is a single-bank SRAM of its
+    budget.  This is the capacity cost that trades against the dynamic
+    data-movement savings of a bigger memory: leaky capacity must earn its
+    keep by removing spill traffic and stalls.
+    """
+    shared = OnChipMemory(capacity_bytes=int(on_chip_kb * 1024))
+    total = shared.leakage_power_w
+    if local_store_kb > 0:
+        local = OnChipMemory(capacity_bytes=int(local_store_kb * 1024), banks=1)
+        total += num_cores * local.leakage_power_w
+    return total
+
+
+def runtime_energy_pareto(on_chip_kb: Sequence[float] = (64.0, 6.0, 3.0),
+                          bandwidth_gbs: Sequence[float] = (16.0, 64.0),
+                          policies: Sequence[str] = ("greedy", "memory_aware",
+                                                     "affinity"),
+                          stall_overlap: Sequence[float] = (0.0, 1.0),
+                          core_counts: Sequence[int] = (1, 2, 4),
+                          local_store_kb: float = 2.0,
+                          n: int = 48, tile: int = 8) -> List[Dict]:
+    """Energy/runtime Pareto frontier over capacity x bandwidth x policy x overlap.
+
+    The co-design question of the memory hierarchy: each swept point
+    schedules one blocked Cholesky through the two-level runtime and is
+    scored on two axes -- total energy (the dynamic data-movement energy of
+    the schedule plus the leakage of the swept memory capacities integrated
+    over the makespan) and runtime (makespan cycles).  ``core_counts``
+    spans the parallelism/energy trade the per-core stores create: more
+    cores finish sooner but leak more local-store capacity and move more
+    tiles core to core.  The engine's Pareto analysis marks the
+    non-dominated points (``on_frontier``), i.e. the capacity / bandwidth /
+    policy / prefetch / core-count combinations where spending more memory
+    or smarter scheduling actually buys efficiency instead of just burning
+    leakage.
+    """
+    spec = (SweepSpec()
+            .constants(algorithm="cholesky", n=n, tile=tile, nr=4, seed=0,
+                       timing="memoized", verify=False,
+                       local_store_kb=local_store_kb)
+            .grid(policy=tuple(policies), on_chip_kb=tuple(on_chip_kb),
+                  bandwidth_gbs=tuple(bandwidth_gbs),
+                  stall_overlap=tuple(stall_overlap),
+                  num_cores=tuple(int(c) for c in core_counts)))
+    result = sweep(spec.jobs("lap_runtime"), **_engine_kwargs())
+    rows = []
+    for row in result.rows:
+        leakage_w = _memory_subsystem_leakage_w(float(row["on_chip_kb"]),
+                                                float(row["local_store_kb"]),
+                                                int(row["num_cores"]))
+        seconds = float(row["makespan_ns"]) * 1e-9
+        static_energy_j = leakage_w * seconds
+        rows.append({
+            "policy": row["policy"],
+            "on_chip_kb": float(row["on_chip_kb"]),
+            "bandwidth_gbs": float(row["bandwidth_gbs"]),
+            "stall_overlap": float(row["stall_overlap"]),
+            "local_store_kb": float(row["local_store_kb"]),
+            "n": int(row["n"]),
+            "tile": int(row["tile"]),
+            "num_cores": int(row["num_cores"]),
+            "makespan_cycles": int(row["makespan_cycles"]),
+            "spill_bytes": int(row["spill_bytes"]),
+            "local_hit_rate": float(row["local_hit_rate"]),
+            "dynamic_energy_j": float(row["energy_j"]),
+            "static_energy_j": static_energy_j,
+            "total_energy_j": float(row["energy_j"]) + static_energy_j,
+            "gflops_per_w": float(row["gflops_per_w"]),
+        })
+    from repro.engine import pareto_frontier
+
+    frontier = pareto_frontier(rows,
+                               objectives=("total_energy_j", "makespan_cycles"),
+                               minimize=("total_energy_j", "makespan_cycles"))
+    frontier_ids = {id(row) for row in frontier}
+    for row in rows:
+        row["on_frontier"] = id(row) in frontier_ids
+    return rows

@@ -165,6 +165,9 @@ _register("runtime_policies", "figure", "Ch. 5 programming env.",
 _register("runtime_memory", "figure", "Sec. 4.2.3 data movement",
           "Off-chip traffic / stalls / energy vs on-chip capacity x policy",
           figures.runtime_memory_capacity_sweep)
+_register("runtime_energy_pareto", "figure", "Sec. 4.4 energy trade-offs",
+          "Energy/runtime Pareto over capacity x bandwidth x policy x overlap",
+          figures.runtime_energy_pareto)
 
 
 # ------------------------------------------------------- methodology extras

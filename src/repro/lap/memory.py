@@ -11,6 +11,18 @@ exactly that data movement for the task-graph runtime:
   the double-buffered streaming the LAP is designed around), re-fetched when
   capacity pressure evicted them (*spill* traffic, which stalls), and dirty
   tiles are written back on eviction and at the end of the schedule.
+* :class:`LocalStore` -- the second residency level: one per-core LRU over
+  that core's local-store budget, fed by the shared level.  A task's tiles
+  are served from the assigned core's store when possible (*local hit*, no
+  transfer), copied from a sibling core's store when another core holds
+  them (*core-to-core* transfer), and otherwise filled from the shared
+  on-chip memory (*shared hit*).  Both transfer kinds cross the on-chip
+  fabric and cost transfer cycles; only local hits are free.  The
+  hierarchy is inclusive (every local tile also lives in the shared level)
+  and write-through (dirtiness is tracked at the shared level only), so
+  enabling local stores never changes the off-chip traffic of a fixed
+  schedule -- it splits the on-chip side of the movement and adds the
+  transfer time.
 * :class:`BandwidthModel` -- converts spill refill bytes into stall cycles
   through the sustained bandwidth of the
   :class:`repro.hw.memory.OffChipInterface`.
@@ -38,8 +50,8 @@ from repro.hw.memory import OffChipInterface, OnChipMemory
 from repro.lap.taskgraph import TaskDescriptor, TileAccess, task_flops
 
 __all__ = [
-    "BandwidthModel", "MemoryHierarchy", "TaskEnergyModel", "TaskMemoryEvent",
-    "TileResidency", "gemm_stream_traffic",
+    "BandwidthModel", "LocalStore", "MemoryHierarchy", "TaskEnergyModel",
+    "TaskMemoryEvent", "TileResidency", "gemm_stream_traffic",
 ]
 
 
@@ -79,6 +91,14 @@ class TaskMemoryEvent:
     ``spill_refill_bytes`` (re-fetch of a tile the working set evicted,
     which exceeds the streaming budget and stalls the task).
     ``writeback_bytes`` counts dirty evictions this task's fetches forced.
+
+    With per-core local stores enabled the on-chip side of the footprint
+    additionally splits into ``local_hit_bytes`` (already in the assigned
+    core's store), ``c2c_bytes`` (copied from a sibling core's store) and
+    ``shared_to_local_bytes`` (filled from the shared level);
+    ``local_transfer_cycles`` is the time both transfer kinds
+    (shared-to-local fills and core-to-core copies, which cross the same
+    on-chip fabric) take through the on-chip bandwidth.
     """
 
     task_id: int
@@ -89,6 +109,10 @@ class TaskMemoryEvent:
     stall_cycles: float = 0.0
     energy_j: float = 0.0
     flops: float = 0.0
+    local_hit_bytes: float = 0.0
+    shared_to_local_bytes: float = 0.0
+    c2c_bytes: float = 0.0
+    local_transfer_cycles: float = 0.0
 
     @property
     def offchip_bytes(self) -> float:
@@ -121,6 +145,9 @@ class TileResidency:
         #: Monotonic state version; bumped by every touch() so schedulers can
         #: detect stale residency-based priorities.
         self.version = 0
+        #: Tiles the most recent touch()/flush() evicted, in eviction order;
+        #: an inclusive upper level uses this to invalidate local copies.
+        self.last_evicted: List[TileAccess] = []
 
     # ------------------------------------------------------------- queries
     @property
@@ -136,18 +163,18 @@ class TileResidency:
         return len(missing) * self.tile_bytes
 
     # ------------------------------------------------------------- updates
-    def _evict_down_to_capacity(self, pinned: set) -> Tuple[int, float]:
-        evictions = 0
+    def _evict_down_to_capacity(self, pinned: set) -> Tuple[List[TileAccess], float]:
+        victims: List[TileAccess] = []
         writeback = 0.0
         while (self.resident_bytes > self.capacity_bytes
                and any(key not in pinned for key in self._lru)):
             victim = next(key for key in self._lru if key not in pinned)
             del self._lru[victim]
-            evictions += 1
+            victims.append(victim)
             if victim in self._dirty:
                 self._dirty.discard(victim)
                 writeback += self.tile_bytes
-        return evictions, writeback
+        return victims, writeback
 
     def touch(self, reads: Iterable[TileAccess],
               writes: Iterable[TileAccess]) -> Tuple[float, float, float, float]:
@@ -179,14 +206,15 @@ class TileResidency:
             self._lru[access] = None
         for access in writes:
             self._dirty.add(access)
-        evictions, writeback = self._evict_down_to_capacity(pinned)
+        victims, writeback = self._evict_down_to_capacity(pinned)
+        self.last_evicted = victims
         self.peak_resident_bytes = max(self.peak_resident_bytes,
                                        self.resident_bytes)
         # The version tracks *membership* changes only (what missing_bytes
         # sees); fully-resident touches are no-ops for priority scoring, so
         # leaving the version alone spares dynamic schedulers a pointless
         # re-validation pass in the common no-spill regime.
-        if refill > 0 or evictions > 0:
+        if refill > 0 or victims:
             self.version += 1
         return refill, compulsory, spill, writeback
 
@@ -194,9 +222,78 @@ class TileResidency:
         """Write back every remaining dirty tile; returns the bytes moved."""
         writeback = float(len(self._dirty) * self.tile_bytes)
         self._dirty.clear()
+        self.last_evicted = list(self._lru)
         self._lru.clear()
         self.version += 1
         return writeback
+
+
+class LocalStore:
+    """Per-core LRU working set of tiles over one core's local-store budget.
+
+    The second residency level of the two-level hierarchy: the shared
+    :class:`TileResidency` feeds one ``LocalStore`` per core.  The store is
+    inclusive in the shared level and write-through (the shared level owns
+    dirtiness and hence all off-chip accounting); a task's footprint is
+    pinned while it is brought resident, mirroring the shared level, so a
+    footprint larger than the budget overflows transiently instead of
+    evicting itself.
+    """
+
+    def __init__(self, capacity_bytes: float, tile_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("local-store capacity must be positive")
+        if tile_bytes <= 0:
+            raise ValueError("tile bytes must be positive")
+        self.capacity_bytes = float(capacity_bytes)
+        self.tile_bytes = int(tile_bytes)
+        self._lru: "OrderedDict[TileAccess, None]" = OrderedDict()
+        self.peak_resident_bytes = 0
+
+    # ------------------------------------------------------------- queries
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._lru) * self.tile_bytes
+
+    def is_resident(self, access: TileAccess) -> bool:
+        return access in self._lru
+
+    def missing_bytes(self, accesses: Iterable[TileAccess]) -> int:
+        """Bytes a footprint would have to fill right now (no state change)."""
+        missing = {a for a in accesses if a not in self._lru}
+        return len(missing) * self.tile_bytes
+
+    def resident_footprint_bytes(self, accesses: Iterable[TileAccess]) -> int:
+        """Bytes of a footprint already held by this store (no state change)."""
+        held = {a for a in accesses if a in self._lru}
+        return len(held) * self.tile_bytes
+
+    # ------------------------------------------------------------- updates
+    def touch(self, accesses: Iterable[TileAccess]) -> float:
+        """Bring a footprint resident; returns the fill bytes it required."""
+        footprint: List[TileAccess] = []
+        for access in accesses:
+            if access not in footprint:
+                footprint.append(access)
+        pinned = set(footprint)
+        fill = 0.0
+        for access in footprint:
+            if access in self._lru:
+                self._lru.move_to_end(access)
+                continue
+            fill += self.tile_bytes
+            self._lru[access] = None
+        while (self.resident_bytes > self.capacity_bytes
+               and any(key not in pinned for key in self._lru)):
+            victim = next(key for key in self._lru if key not in pinned)
+            del self._lru[victim]
+        self.peak_resident_bytes = max(self.peak_resident_bytes,
+                                       self.resident_bytes)
+        return fill
+
+    def invalidate(self, access: TileAccess) -> None:
+        """Drop a tile (shared-level eviction or a sibling core's write)."""
+        self._lru.pop(access, None)
 
 
 class BandwidthModel:
@@ -248,19 +345,45 @@ class MemoryHierarchy:
     task in dispatch order, it tracks tile residency, converts spill refills
     into stall cycles, attributes energy per task, and accumulates the
     whole-schedule totals (:meth:`summary`).
+
+    With ``local_store_kb`` set the hierarchy becomes two-level: one
+    :class:`LocalStore` per core sits above the shared :class:`TileResidency`.
+    A dispatched task's footprint is classified against its assigned core's
+    store (local hit / core-to-core copy / shared-to-local fill) and the
+    shared-to-local movement costs transfer cycles through the on-chip
+    bandwidth plus on-chip access energy.  The local level is inclusive and
+    write-through, so the off-chip traffic of a fixed dispatch order is
+    *identical* to the single-level model -- ``local_store_kb=None``
+    reproduces the single-level accounting byte for byte.
     """
 
     def __init__(self, capacity_bytes: float, tile: int, element_bytes: int,
                  interface: OffChipInterface, onchip: OnChipMemory,
-                 fmac: FMACUnit, frequency_ghz: float):
+                 fmac: FMACUnit, frequency_ghz: float,
+                 num_cores: int = 1,
+                 local_store_kb: Optional[float] = None):
         if tile <= 0 or element_bytes <= 0:
             raise ValueError("tile size and element bytes must be positive")
+        if num_cores < 1:
+            raise ValueError("the hierarchy needs at least one core")
         self.tile = int(tile)
         self.element_bytes = int(element_bytes)
         tile_bytes = self.tile * self.tile * self.element_bytes
         self.residency = TileResidency(capacity_bytes, tile_bytes)
         self.bandwidth = BandwidthModel(interface, frequency_ghz)
         self.energy = TaskEnergyModel(fmac, onchip, interface)
+        self.num_cores = int(num_cores)
+        self.local_store_kb = (None if local_store_kb is None
+                               else float(local_store_kb))
+        if self.local_store_kb is not None and self.local_store_kb <= 0:
+            raise ValueError("local-store capacity must be positive")
+        self.local_stores: Optional[List[LocalStore]] = (
+            None if self.local_store_kb is None
+            else [LocalStore(self.local_store_kb * 1024, tile_bytes)
+                  for _ in range(self.num_cores)])
+        #: Bytes/cycle of shared-to-local (and core-to-core) transfers: the
+        #: peak bandwidth of the shared on-chip SRAM.
+        self.onchip_bw_bytes_per_cycle = float(onchip.peak_bandwidth_bytes_per_cycle)
         self.events: List[TaskMemoryEvent] = []
         self.total_flops = 0.0
         self.total_energy_j = 0.0
@@ -268,18 +391,26 @@ class MemoryHierarchy:
         self.compulsory_bytes = 0.0
         self.spill_bytes = 0.0
         self.writeback_bytes = 0.0
+        self.local_hit_bytes = 0.0
+        self.shared_to_local_bytes = 0.0
+        self.c2c_bytes = 0.0
+        self.local_transfer_cycles = 0.0
+        self._local_version = 0
         self._flushed = False
 
     @classmethod
     def for_chip(cls, lap, tile: int,
                  on_chip_kb: Optional[float] = None,
-                 bandwidth_gbs: Optional[float] = None) -> "MemoryHierarchy":
+                 bandwidth_gbs: Optional[float] = None,
+                 local_store_kb: Optional[float] = None) -> "MemoryHierarchy":
         """Build the hierarchy of one chip, with optional capacity/BW overrides.
 
         ``on_chip_kb`` shrinks (or grows) the residency capacity relative to
         the chip's physical on-chip memory -- the axis the capacity sweeps
-        move; ``bandwidth_gbs`` overrides the sustained off-chip bandwidth.
-        Energy coefficients always come from the chip's component models.
+        move; ``bandwidth_gbs`` overrides the sustained off-chip bandwidth;
+        ``local_store_kb`` enables the per-core second level with the given
+        per-core budget.  Energy coefficients always come from the chip's
+        component models.
         """
         cfg = lap.config
         capacity = (cfg.onchip_memory_mbytes * 1024 * 1024
@@ -292,36 +423,124 @@ class MemoryHierarchy:
         return cls(capacity_bytes=capacity, tile=tile,
                    element_bytes=cfg.element_bytes, interface=interface,
                    onchip=lap.onchip_memory, fmac=fmac,
-                   frequency_ghz=cfg.frequency_ghz)
+                   frequency_ghz=cfg.frequency_ghz,
+                   num_cores=len(lap.cores), local_store_kb=local_store_kb)
 
     # ------------------------------------------------------------ accounting
     @property
+    def has_local_stores(self) -> bool:
+        """Whether the per-core second level is enabled."""
+        return self.local_stores is not None
+
+    @property
     def version(self) -> int:
-        """Residency state version (for stale-priority detection)."""
-        return self.residency.version
+        """Hierarchy state version (for stale-priority detection).
+
+        Covers both levels: the shared residency's membership version plus a
+        local-store counter, so dynamic policies whose scores depend on
+        per-core stores re-validate when either level moved.
+        """
+        return self.residency.version + self._local_version
 
     def task_missing_bytes(self, task: TaskDescriptor) -> int:
         """Bytes the task would have to fetch if dispatched right now."""
         return self.residency.missing_bytes(task.touched_tiles())
 
-    def account(self, task: TaskDescriptor) -> TaskMemoryEvent:
-        """Account one dispatched task; returns its data-movement record."""
+    def task_missing_local_bytes(self, task: TaskDescriptor,
+                                 core_index: int) -> int:
+        """Bytes a core's local store would have to fill for this task (0
+        without local stores)."""
+        if self.local_stores is None:
+            return 0
+        return self.local_stores[core_index].missing_bytes(task.touched_tiles())
+
+    def task_local_resident_bytes(self, task: TaskDescriptor,
+                                  core_index: int) -> int:
+        """Bytes of the task's footprint a core's store already holds."""
+        if self.local_stores is None:
+            return 0
+        return self.local_stores[core_index].resident_footprint_bytes(
+            task.touched_tiles())
+
+    def _account_local(self, footprint: List[TileAccess],
+                       writes: List[TileAccess],
+                       core_index: int) -> Tuple[float, float, float]:
+        """Second-level accounting of one task on its assigned core.
+
+        Returns ``(local_hit, shared_fill, c2c)`` bytes.  Shared-level
+        evictions invalidate local copies first (inclusion), then the
+        footprint is classified and brought resident, and finally the
+        written tiles are invalidated in the sibling stores (write-through
+        coherence: a writer owns the only local copy).
+        """
+        stores = self.local_stores
+        for victim in self.residency.last_evicted:
+            for store in stores:
+                store.invalidate(victim)
+        store = stores[core_index]
+        tile_bytes = store.tile_bytes
+        local_hit = shared_fill = c2c = 0.0
+        for access in footprint:
+            if store.is_resident(access):
+                local_hit += tile_bytes
+            elif any(other.is_resident(access) for other in stores
+                     if other is not store):
+                c2c += tile_bytes
+            else:
+                shared_fill += tile_bytes
+        store.touch(footprint)
+        for access in writes:
+            for other in stores:
+                if other is not store:
+                    other.invalidate(access)
+        self._local_version += 1
+        return local_hit, shared_fill, c2c
+
+    def account(self, task: TaskDescriptor,
+                core_index: int = 0) -> TaskMemoryEvent:
+        """Account one dispatched task; returns its data-movement record.
+
+        ``core_index`` names the core the scheduler assigned the task to;
+        it selects the local store of the second level and is ignored by
+        the single-level model.
+        """
         if self._flushed:
             raise RuntimeError("memory hierarchy already flushed; build a new "
                                "one per schedule")
+        if not (0 <= core_index < self.num_cores):
+            raise ValueError(f"core index {core_index} out of range for "
+                             f"{self.num_cores} cores")
         reads, writes = task.read_tiles(), task.write_tiles()
         refill, compulsory, spill, writeback = self.residency.touch(reads, writes)
         stall = self.bandwidth.stall_cycles(spill)
         flops = task_flops(task, self.tile)
         tile_bytes = self.residency.tile_bytes
         onchip_bytes = (len(reads) + len(writes)) * tile_bytes
+        local_hit = shared_fill = c2c = transfer_cycles = 0.0
+        if self.local_stores is not None:
+            footprint: List[TileAccess] = []
+            for access in reads + writes:
+                if access not in footprint:
+                    footprint.append(access)
+            local_hit, shared_fill, c2c = self._account_local(
+                footprint, writes, core_index)
+            transfer_bytes = shared_fill + c2c
+            if transfer_bytes > 0 and self.onchip_bw_bytes_per_cycle > 0:
+                transfer_cycles = transfer_bytes / self.onchip_bw_bytes_per_cycle
+            # The extra movement through the shared SRAM costs on-chip
+            # access energy on top of the task's own operand accesses.
+            onchip_bytes += transfer_bytes
         energy = self.energy.task_energy_j(flops, onchip_bytes,
                                            refill + writeback)
         event = TaskMemoryEvent(task_id=task.task_id, refill_bytes=refill,
                                 compulsory_bytes=compulsory,
                                 spill_refill_bytes=spill,
                                 writeback_bytes=writeback, stall_cycles=stall,
-                                energy_j=energy, flops=flops)
+                                energy_j=energy, flops=flops,
+                                local_hit_bytes=local_hit,
+                                shared_to_local_bytes=shared_fill,
+                                c2c_bytes=c2c,
+                                local_transfer_cycles=transfer_cycles)
         self.events.append(event)
         self.total_flops += flops
         self.total_energy_j += energy
@@ -329,6 +548,10 @@ class MemoryHierarchy:
         self.compulsory_bytes += compulsory
         self.spill_bytes += spill
         self.writeback_bytes += writeback
+        self.local_hit_bytes += local_hit
+        self.shared_to_local_bytes += shared_fill
+        self.c2c_bytes += c2c
+        self.local_transfer_cycles += transfer_cycles
         return event
 
     def finish(self) -> float:
@@ -362,9 +585,20 @@ class MemoryHierarchy:
             return 0.0
         return self.total_flops / self.total_energy_j / 1e9
 
+    def local_hit_rate(self) -> float:
+        """Fraction of local-level footprint bytes served without a transfer
+        (0.0 when the second level is disabled or nothing was touched)."""
+        touched = self.local_hit_bytes + self.shared_to_local_bytes + self.c2c_bytes
+        return self.local_hit_bytes / touched if touched > 0 else 0.0
+
     def summary(self) -> Dict[str, float]:
-        """Whole-schedule data-movement totals for stats rows."""
-        return {
+        """Whole-schedule data-movement totals for stats rows.
+
+        The local-store keys are present only when the per-core second level
+        is enabled, so single-level stats stay byte-identical to the
+        single-level model's.
+        """
+        totals = {
             "offchip_traffic_bytes": self.traffic_bytes,
             "compulsory_bytes": self.compulsory_bytes,
             "spill_bytes": self.spill_bytes,
@@ -378,3 +612,15 @@ class MemoryHierarchy:
             "on_chip_capacity_bytes": self.residency.capacity_bytes,
             "bandwidth_gbs": self.bandwidth.interface.bandwidth_gbytes_per_sec,
         }
+        if self.local_stores is not None:
+            totals.update({
+                "local_store_kb": self.local_store_kb,
+                "local_hit_bytes": self.local_hit_bytes,
+                "shared_to_local_bytes": self.shared_to_local_bytes,
+                "c2c_bytes": self.c2c_bytes,
+                "local_hit_rate": self.local_hit_rate(),
+                "local_transfer_cycles": self.local_transfer_cycles,
+                "peak_local_resident_bytes": float(max(
+                    store.peak_resident_bytes for store in self.local_stores)),
+            })
+        return totals

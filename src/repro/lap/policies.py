@@ -22,11 +22,21 @@ on.  Four policies are provided:
     generalises ``locality`` to the chip-level working set: ready tasks are
     scored by how many bytes of their tile footprint are *not* resident in
     on-chip memory (fewest missing bytes first, i.e. maximal reuse of what
-    is already on chip), with the locality core preference on top.  The
-    runtime binds its :class:`repro.lap.memory.MemoryHierarchy` to the
+    is already on chip), with the locality core preference on top.  When the
+    two-level hierarchy is enabled the score additionally counts the bytes
+    the *assigned* core's local store would have to fill (the assigned core
+    is the one the locality rule prefers: the owner of the output tile), so
+    the ordering favours work whose data already sits next to its core.
+    The runtime binds its :class:`repro.lap.memory.MemoryHierarchy` to the
     policy and re-validates heap priorities lazily when the residency state
     moved on (``dynamic_priority``), so the ordering tracks the simulated
     working set instead of a stale snapshot.
+``affinity``
+    the two-level counterpart of ``locality``: ready ordering is inherited
+    from ``memory_aware``, and a popped task prefers the core whose local
+    store already holds the largest fraction of the task's footprint
+    (falling back to the output-tile owner, then the earliest-available
+    core).  Without local stores it degrades to greedy core selection.
 
 Policies are stateless between :meth:`SchedulerPolicy.prepare` calls, so one
 instance can schedule many graphs.
@@ -63,6 +73,15 @@ class SchedulerPolicy:
 
         Called once per ``execute()`` (with ``None`` when data-movement
         accounting is disabled); only residency-driven policies care.
+        """
+
+    def bind_owners(self, tile_owner: Dict[Tuple[int, int], int]) -> None:
+        """Receive the runtime's live output-tile ownership map.
+
+        Called once per ``execute()`` with the dictionary the scheduler loop
+        mutates in place (tile coordinate -> last writing core), so policies
+        that score against a core's local store can name the core the
+        locality rule would assign.
         """
 
     def priority(self, task: TaskDescriptor, ready_time: float) -> Tuple:
@@ -127,14 +146,18 @@ class LocalityAware(SchedulerPolicy):
 class MemoryAware(LocalityAware):
     """Score ready tasks by resident-tile reuse over the on-chip working set.
 
-    Priority key: ``(missing_bytes, ready_time)`` -- among ready tasks the
-    one whose tile footprint needs the fewest off-chip fetches right now
-    runs first, so the schedule works resident data to completion before
-    streaming new tiles in.  Without a bound memory hierarchy (data-movement
-    accounting disabled) every score is zero and the policy degrades to
-    greedy ordering.  Core selection is inherited from ``locality``: the
-    chip-level residency is shared, so the only per-core signal is who last
-    wrote the output tile.
+    Priority key: ``(missing_bytes, local_missing_bytes, ready_time)`` --
+    among ready tasks the one whose tile footprint needs the fewest
+    off-chip fetches right now runs first, so the schedule works resident
+    data to completion before streaming new tiles in.  With per-core local
+    stores enabled, ties on off-chip bytes break by the fill bytes of the
+    *assigned* core's local store -- the core the inherited locality rule
+    prefers (the last writer of the output tile, core 0 before anyone wrote
+    it).  Off-chip avoidance stays lexicographically first because a DRAM
+    round trip costs an order of magnitude more than an on-chip transfer;
+    the local term only refines the order within equal off-chip cost.
+    Without a bound memory hierarchy (data-movement accounting disabled)
+    every score is zero and the policy degrades to greedy ordering.
     """
 
     name = "memory_aware"
@@ -142,14 +165,55 @@ class MemoryAware(LocalityAware):
 
     def __init__(self) -> None:
         self._memory = None
+        self._owners: Dict[Tuple[int, int], int] = {}
 
     def bind_memory(self, memory) -> None:
         self._memory = memory
 
+    def bind_owners(self, tile_owner: Dict[Tuple[int, int], int]) -> None:
+        self._owners = tile_owner
+
+    def _assigned_core(self, task: TaskDescriptor) -> int:
+        return self._owners.get(task.output, 0)
+
     def priority(self, task: TaskDescriptor, ready_time: float) -> Tuple:
-        missing = (self._memory.task_missing_bytes(task)
-                   if self._memory is not None else 0)
+        if self._memory is None:
+            return (0, ready_time)
+        missing = self._memory.task_missing_bytes(task)
+        if getattr(self._memory, "has_local_stores", False):
+            local = self._memory.task_missing_local_bytes(
+                task, self._assigned_core(task))
+            return (missing, local, ready_time)
         return (missing, ready_time)
+
+
+class AffinityScheduler(MemoryAware):
+    """Send a task to the core whose local store holds the most of its data.
+
+    Ready ordering is inherited from ``memory_aware``; core selection ranks
+    the cores by the footprint bytes their local stores already hold (most
+    resident bytes first), breaking ties by output-tile ownership, earliest
+    availability and index.  A core that holds the data is preferred even
+    when a data-less core is free earlier: re-fetching through the shared
+    level usually costs more than waiting.  Without local stores (or with
+    data-movement accounting disabled) no residency signal exists and the
+    policy falls back to the earliest-available core.
+    """
+
+    name = "affinity"
+
+    def choose_core(self, task: TaskDescriptor, ready_time: float,
+                    core_free_at: Sequence[float],
+                    tile_owner: Dict[Tuple[int, int], int]) -> int:
+        memory = self._memory
+        if memory is None or not getattr(memory, "has_local_stores", False):
+            return min(range(len(core_free_at)),
+                       key=lambda i: (core_free_at[i], i))
+        owner = tile_owner.get(task.output)
+        return min(range(len(core_free_at)),
+                   key=lambda i: (-memory.task_local_resident_bytes(task, i),
+                                  0 if i == owner else 1,
+                                  max(core_free_at[i], ready_time), i))
 
 
 #: Registry of scheduling policies by CLI/runner name.
@@ -158,6 +222,7 @@ POLICIES: Dict[str, type] = {
     CriticalPathPriority.name: CriticalPathPriority,
     LocalityAware.name: LocalityAware,
     MemoryAware.name: MemoryAware,
+    AffinityScheduler.name: AffinityScheduler,
 }
 
 

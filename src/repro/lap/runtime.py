@@ -22,10 +22,13 @@ The runtime is layered (TaskGraph -> Scheduler -> TimingModel -> LAP):
   precision) cycle counts after one functional run so that large graphs
   schedule in seconds;
 * :mod:`repro.lap.memory` -- the unified memory-hierarchy layer: an LRU
-  tile-residency model over the on-chip capacity plus a bandwidth model
-  that turns spill refills into stall cycles and a per-task energy model
-  (pJ/flop + pJ/byte); every schedule reports off-chip traffic, stalls and
-  GFLOPS/W alongside the makespan;
+  tile-residency model over the shared on-chip capacity, optionally topped
+  by per-core local stores (``local_store_kb``, the two-level hierarchy),
+  plus a bandwidth model that turns spill refills into stall cycles and a
+  per-task energy model (pJ/flop + pJ/byte); every schedule reports
+  off-chip traffic, stalls and GFLOPS/W alongside the makespan, and the
+  two-level model splits on-chip movement into local-hit / core-to-core /
+  shared-to-local traffic;
 * :class:`LAPRuntime` (this module) -- the driver/dispatcher that binds the
   four to the cores of a :class:`repro.lap.chip.LinearAlgebraProcessor`,
   optionally with heterogeneous per-core clock frequencies.
@@ -83,6 +86,8 @@ class TaskExecution:
     stall_cycles: float = 0.0
     refill_bytes: float = 0.0
     energy_j: float = 0.0
+    local_transfer_cycles: float = 0.0
+    local_hit_bytes: float = 0.0
 
     @property
     def cycles(self) -> float:
@@ -146,11 +151,17 @@ class LAPRuntime:
     bandwidth_gbs:
         Override of the sustained off-chip bandwidth in GB/s (defaults to
         the chip's off-chip interface).
+    local_store_kb:
+        Per-core local-store budget in KiB; enables the two-level hierarchy
+        (a per-core :class:`repro.lap.memory.LocalStore` above the shared
+        residency).  ``None`` (default) keeps the single-level model, whose
+        schedules and traffic are byte-identical to the pre-local-store
+        runtime.
     stall_overlap:
-        Fraction of spill-refill stall cycles hidden under compute by
-        prefetching, in [0, 1] (see
-        :func:`repro.lap.timing.compose_task_cycles`); 0 (default) fully
-        serialises spill refills, 1 hides them entirely.
+        Fraction of the data-movement cycles (spill-refill stalls and
+        shared-to-local transfers) hidden under compute by prefetching, in
+        [0, 1] (see :func:`repro.lap.timing.compose_task_cycles`); 0
+        (default) fully serialises them, 1 hides them entirely.
     """
 
     def __init__(self, lap: LinearAlgebraProcessor, tile: int,
@@ -160,6 +171,7 @@ class LAPRuntime:
                  memory: bool = True,
                  on_chip_kb: Optional[float] = None,
                  bandwidth_gbs: Optional[float] = None,
+                 local_store_kb: Optional[float] = None,
                  stall_overlap: float = 0.0):
         self.lap = lap
         self.tile = tile
@@ -169,6 +181,8 @@ class LAPRuntime:
         self.memory_enabled = bool(memory)
         self.on_chip_kb = on_chip_kb
         self.bandwidth_gbs = bandwidth_gbs
+        self.local_store_kb = (None if local_store_kb is None
+                               else float(local_store_kb))
         if not (0.0 <= stall_overlap <= 1.0):
             raise ValueError("stall_overlap must lie in [0, 1]")
         self.stall_overlap = float(stall_overlap)
@@ -429,7 +443,8 @@ class LAPRuntime:
 
         memory = (MemoryHierarchy.for_chip(self.lap, self.tile,
                                            on_chip_kb=self.on_chip_kb,
-                                           bandwidth_gbs=self.bandwidth_gbs)
+                                           bandwidth_gbs=self.bandwidth_gbs,
+                                           local_store_kb=self.local_store_kb)
                   if self.memory_enabled else None)
         self.last_memory = memory
         self.policy.prepare(tasks if isinstance(tasks, TaskGraph) else task_list)
@@ -443,6 +458,7 @@ class LAPRuntime:
         busy_cycles: List[int] = [0] * num_cores
         busy_time: List[float] = [0] * num_cores
         tile_owner: Dict[Tuple[int, int], int] = {}
+        self.policy.bind_owners(tile_owner)
         ready_time: Dict[int, float] = {}
         end_time: Dict[int, float] = {}
         self.executions = []
@@ -483,14 +499,17 @@ class LAPRuntime:
                 duration = cycles * reference_freq / self.core_frequencies_ghz[core_index]
             compute_duration = duration
             stall = 0.0
-            refill = energy = 0.0
+            refill = energy = local_cycles = local_hit = 0.0
             if memory is not None:
-                event = memory.account(task)
+                event = memory.account(task, core_index)
                 stall = event.stall_cycles
                 refill = event.refill_bytes
                 energy = event.energy_j
+                local_cycles = event.local_transfer_cycles
+                local_hit = event.local_hit_bytes
                 duration = compose_task_cycles(duration, stall,
-                                               self.stall_overlap)
+                                               self.stall_overlap,
+                                               local_cycles)
             start = max(core_free_at[core_index], ready)
             end = start + duration
             core_free_at[core_index] = end
@@ -504,7 +523,9 @@ class LAPRuntime:
             self.executions.append(TaskExecution(task.task_id, task.kind, core_index,
                                                  start, end, stall_cycles=stall,
                                                  refill_bytes=refill,
-                                                 energy_j=energy))
+                                                 energy_j=energy,
+                                                 local_transfer_cycles=local_cycles,
+                                                 local_hit_bytes=local_hit))
             for succ_id in successors[task.task_id]:
                 ready_time[succ_id] = max(ready_time.get(succ_id, 0), end)
                 indegree[succ_id] -= 1

@@ -42,21 +42,26 @@ def task_signature(task: TaskDescriptor, shapes: Tuple, precision: str) -> TaskS
 
 
 def compose_task_cycles(compute_cycles: float, stall_cycles: float,
-                        overlap_fraction: float = 0.0) -> float:
-    """Compose compute cycles with bandwidth-stall cycles into one duration.
+                        overlap_fraction: float = 0.0,
+                        local_transfer_cycles: float = 0.0) -> float:
+    """Compose compute cycles with data-movement cycles into one duration.
 
     ``stall_cycles`` is the off-chip transfer time of the spill refills the
     task caused (:class:`repro.lap.memory.BandwidthModel`); compulsory
     streaming is assumed fully overlapped by the LAP's double buffering and
-    never appears here.  ``overlap_fraction`` models partial prefetching of
-    spill refills under compute (0 = fully serialised, the conservative
+    never appears here.  ``local_transfer_cycles`` is the shared-to-local
+    movement of the two-level hierarchy (:class:`repro.lap.memory.LocalStore`
+    fills through the on-chip bandwidth); it defaults to 0 so single-level
+    callers are unchanged.  ``overlap_fraction`` models partial prefetching
+    of both terms under compute (0 = fully serialised, the conservative
     default; 1 = fully hidden).
     """
-    if compute_cycles < 0 or stall_cycles < 0:
+    if compute_cycles < 0 or stall_cycles < 0 or local_transfer_cycles < 0:
         raise ValueError("cycle counts must be non-negative")
     if not (0.0 <= overlap_fraction <= 1.0):
         raise ValueError("overlap fraction must lie in [0, 1]")
-    return compute_cycles + stall_cycles * (1.0 - overlap_fraction)
+    return (compute_cycles
+            + (stall_cycles + local_transfer_cycles) * (1.0 - overlap_fraction))
 
 
 class TimingModel:

@@ -374,12 +374,22 @@ def test_runtime_memory_golden_has_spills_and_policy_win():
 
 # -------------------------------------------------------- deprecation shim
 def test_scheduler_module_is_a_deprecation_shim():
+    """A fresh import of repro.lap.scheduler warns, and every public name it
+    re-exports is the *same object* as in repro.lap.policies -- so the shim
+    cannot silently drift from the canonical module."""
+    import repro.lap.policies as policies
     import repro.lap.scheduler as shim
-    from repro.lap.policies import GEMMScheduler, PanelAssignment
     with pytest.warns(DeprecationWarning, match="repro.lap.scheduler"):
         shim = importlib.reload(shim)
-    assert shim.GEMMScheduler is GEMMScheduler
-    assert shim.PanelAssignment is PanelAssignment
+    assert shim.__all__, "the shim must re-export a public API"
+    for name in shim.__all__:
+        assert getattr(shim, name) is getattr(policies, name), \
+            f"shim re-export '{name}' drifted from repro.lap.policies"
+    # Nothing public beyond __all__ sneaks in (drift in the other direction).
+    public = {name for name in vars(shim)
+              if not name.startswith("_")
+              and name not in ("annotations", "warnings")}
+    assert public == set(shim.__all__)
 
 
 # ------------------------------------------------------------- runner golden
@@ -425,6 +435,275 @@ def test_lap_runtime_rows_match_memory_golden():
                 assert row[key] == pytest.approx(value, rel=1e-6, abs=1e-15), key
             else:
                 assert row[key] == value, key
+
+
+# ------------------------------------------------- two-level hierarchy
+class TestLocalStore:
+    def test_validation(self):
+        from repro.lap.memory import LocalStore
+        with pytest.raises(ValueError):
+            LocalStore(0, 512)
+        with pytest.raises(ValueError):
+            LocalStore(1024, 0)
+
+    def test_fill_hit_and_invalidate(self):
+        from repro.lap.memory import LocalStore
+        store = LocalStore(capacity_bytes=2 * 512, tile_bytes=512)
+        assert store.touch([("A", (0, 0))]) == 512          # cold fill
+        assert store.touch([("A", (0, 0))]) == 0            # hit
+        assert store.resident_footprint_bytes([("A", (0, 0))]) == 512
+        assert store.missing_bytes([("A", (0, 0)), ("A", (1, 1))]) == 512
+        store.invalidate(("A", (0, 0)))
+        assert not store.is_resident(("A", (0, 0)))
+        assert store.touch([("A", (0, 0))]) == 512          # re-fill
+
+    def test_lru_eviction_and_pinning(self):
+        from repro.lap.memory import LocalStore
+        store = LocalStore(capacity_bytes=2 * 512, tile_bytes=512)
+        store.touch([("A", (0, 0)), ("A", (0, 1))])
+        store.touch([("A", (0, 2))])                        # evicts (0, 0)
+        assert not store.is_resident(("A", (0, 0)))
+        assert store.is_resident(("A", (0, 1)))
+        # A footprint larger than the budget pins itself (transient overflow).
+        fill = store.touch([("B", (0, 0)), ("B", (0, 1)), ("B", (0, 2))])
+        assert fill == 3 * 512
+        assert store.peak_resident_bytes == 3 * 512
+
+    def test_hierarchy_classifies_local_shared_and_c2c(self):
+        lap = LinearAlgebraProcessor(LAPConfig(num_cores=2, nr=4))
+        hierarchy = MemoryHierarchy.for_chip(lap, tile=8, local_store_kb=4.0)
+        gemm = TaskDescriptor(0, TaskKind.GEMM, output=(0, 0),
+                              inputs=[(0, 1), (1, 0)])
+        tile_bytes = hierarchy.residency.tile_bytes
+        event = hierarchy.account(gemm, core_index=0)
+        # Cold: every tile fills from the shared level.
+        assert event.local_hit_bytes == 0
+        assert event.shared_to_local_bytes == 3 * tile_bytes
+        assert event.c2c_bytes == 0
+        assert event.local_transfer_cycles > 0
+        # Same core again: all local hits, no transfer time.
+        event = hierarchy.account(gemm, core_index=0)
+        assert event.local_hit_bytes == 3 * tile_bytes
+        assert event.shared_to_local_bytes == 0
+        assert event.local_transfer_cycles == 0
+        # Other core: the tiles come from core 0's store (core-to-core).
+        event = hierarchy.account(gemm, core_index=1)
+        assert event.c2c_bytes == 3 * tile_bytes
+        assert event.shared_to_local_bytes == 0
+
+    def test_write_invalidates_sibling_copies(self):
+        lap = LinearAlgebraProcessor(LAPConfig(num_cores=2, nr=4))
+        hierarchy = MemoryHierarchy.for_chip(lap, tile=8, local_store_kb=4.0)
+        task = TaskDescriptor(0, TaskKind.CHOLESKY, output=(0, 0))
+        hierarchy.account(task, core_index=0)
+        hierarchy.account(task, core_index=1)   # copies (0, 0) to core 1...
+        # ...and, being a write, revokes core 0's stale copy.
+        assert not hierarchy.local_stores[0].is_resident(("A", (0, 0)))
+        assert hierarchy.local_stores[1].is_resident(("A", (0, 0)))
+
+    def test_shared_eviction_invalidates_local_copies(self):
+        """Inclusion: a tile evicted from the shared level cannot survive in
+        any core's local store."""
+        lap = LinearAlgebraProcessor(LAPConfig(num_cores=1, nr=4))
+        tile_kb = 0.5                            # 8x8 doubles
+        hierarchy = MemoryHierarchy.for_chip(lap, tile=8,
+                                             on_chip_kb=2 * tile_kb,
+                                             local_store_kb=8.0)
+        tasks = [TaskDescriptor(i, TaskKind.CHOLESKY, output=(i, i))
+                 for i in range(3)]
+        for task in tasks:
+            hierarchy.account(task, core_index=0)
+        # Shared level holds 2 tiles; tile (0, 0) was evicted and must be
+        # gone from the (much larger) local store as well.
+        assert not hierarchy.residency.is_resident(("A", (0, 0)))
+        assert not hierarchy.local_stores[0].is_resident(("A", (0, 0)))
+
+    def test_account_validates_core_index(self):
+        lap = LinearAlgebraProcessor(LAPConfig(num_cores=2, nr=4))
+        hierarchy = MemoryHierarchy.for_chip(lap, tile=8, local_store_kb=4.0)
+        task = TaskDescriptor(0, TaskKind.CHOLESKY, output=(0, 0))
+        with pytest.raises(ValueError, match="core index"):
+            hierarchy.account(task, core_index=2)
+        with pytest.raises(ValueError, match="local-store capacity"):
+            MemoryHierarchy.for_chip(lap, tile=8, local_store_kb=0.0)
+
+
+class TestTwoLevelRuntime:
+    def test_local_columns_only_with_local_stores(self):
+        single = make_runtime()
+        stats = single.run_blocked_cholesky(32, np.random.default_rng(0))
+        assert "local_hit_rate" not in stats
+        two = make_runtime(local_store_kb=2.0)
+        stats = two.run_blocked_cholesky(32, np.random.default_rng(0))
+        for key in ("local_store_kb", "local_hit_bytes", "shared_to_local_bytes",
+                    "c2c_bytes", "local_hit_rate", "local_transfer_cycles"):
+            assert key in stats
+        assert 0.0 < stats["local_hit_rate"] < 1.0
+        assert stats["local_transfer_cycles"] > 0
+
+    def test_local_store_is_offchip_neutral_but_costs_time_and_energy(self):
+        """The inclusive write-through local level never changes off-chip
+        traffic under the (order-insensitive) greedy policy, but the
+        shared-to-local transfers lengthen the schedule and burn on-chip
+        energy."""
+        base = make_runtime(timing="memoized")
+        two = make_runtime(timing="memoized", local_store_kb=2.0)
+        b = base.run_blocked_cholesky(48, np.random.default_rng(0), verify=False)
+        t = two.run_blocked_cholesky(48, np.random.default_rng(0), verify=False)
+        assert t["offchip_traffic_bytes"] == b["offchip_traffic_bytes"]
+        assert t["spill_bytes"] == b["spill_bytes"]
+        assert t["makespan_cycles"] > b["makespan_cycles"]
+        assert t["energy_j"] > b["energy_j"]
+
+    def test_full_overlap_hides_local_transfers(self):
+        hidden = make_runtime(timing="memoized", local_store_kb=2.0,
+                              stall_overlap=1.0)
+        compute_only = make_runtime(timing="memoized", memory=False)
+        h = hidden.run_blocked_cholesky(48, np.random.default_rng(0),
+                                        verify=False)
+        c = compute_only.run_blocked_cholesky(48, np.random.default_rng(0),
+                                              verify=False)
+        assert h["local_transfer_cycles"] > 0     # still reported
+        assert h["makespan_cycles"] == c["makespan_cycles"]
+
+    @pytest.mark.parametrize("workload,n", [("lu", 40), ("qr", 32)])
+    @pytest.mark.parametrize("local_kb", [1.0, 2.0])
+    def test_smart_policies_spill_strictly_less_under_pressure(
+            self, workload, n, local_kb):
+        """Acceptance: with a finite local store and a pressured shared
+        level, memory_aware and affinity move strictly fewer off-chip spill
+        bytes than greedy."""
+        spills = {}
+        for policy in ("greedy", "memory_aware", "affinity"):
+            runtime = make_runtime(timing="memoized", policy=policy,
+                                   on_chip_kb=4.0, local_store_kb=local_kb)
+            stats = runtime.run_workload(workload, n,
+                                         np.random.default_rng(0),
+                                         verify=False)
+            spills[policy] = stats["spill_bytes"]
+        assert spills["memory_aware"] < spills["greedy"]
+        assert spills["affinity"] < spills["greedy"]
+
+    def test_affinity_raises_local_hit_rate_over_greedy(self):
+        rates = {}
+        for policy in ("greedy", "affinity"):
+            runtime = make_runtime(timing="memoized", policy=policy,
+                                   local_store_kb=2.0)
+            stats = runtime.run_blocked_cholesky(48, np.random.default_rng(0),
+                                                 verify=False)
+            rates[policy] = stats["local_hit_rate"]
+        assert rates["affinity"] > rates["greedy"]
+
+    def test_affinity_degrades_to_greedy_without_local_stores(self):
+        affinity = make_runtime(policy="affinity", memory=False)
+        greedy = make_runtime(policy="greedy", memory=False)
+        a = affinity.run_blocked_cholesky(32, np.random.default_rng(0))
+        g = greedy.run_blocked_cholesky(32, np.random.default_rng(0))
+        assert a["makespan_cycles"] == g["makespan_cycles"]
+        assert a["per_core_busy_cycles"] == g["per_core_busy_cycles"]
+
+    def test_affinity_schedule_stays_valid(self):
+        runtime = make_runtime(timing="memoized", policy="affinity",
+                               on_chip_kb=4.0, local_store_kb=2.0)
+        stats = runtime.run_blocked_cholesky(48, np.random.default_rng(0),
+                                             verify=True)
+        assert stats["residual"] < 1e-8
+        graph = AlgorithmsByBlocks(8).cholesky_tasks(48)
+        end_by_id = {e.task_id: e.end_cycle for e in runtime.executions}
+        for execution in runtime.executions:
+            task = graph.task(execution.task_id)
+            ready = max((end_by_id[d] for d in task.depends_on), default=0)
+            assert execution.start_cycle >= ready
+
+    def test_per_task_local_accounting_sums_to_totals(self):
+        runtime = make_runtime(timing="memoized", local_store_kb=2.0)
+        stats = runtime.run_blocked_cholesky(48, np.random.default_rng(0),
+                                             verify=False)
+        transfers = sum(e.local_transfer_cycles for e in runtime.executions)
+        assert transfers == pytest.approx(stats["local_transfer_cycles"])
+        hits = sum(e.local_hit_bytes for e in runtime.executions)
+        assert hits == pytest.approx(stats["local_hit_bytes"])
+
+
+# -------------------------------------------- single-level equivalence pins
+class TestSingleLevelEquivalence:
+    """``local_store_kb=None`` must reproduce the single-level runtime
+    byte for byte: the PR 4 runner golden and the PR 3 schedule golden."""
+
+    def test_explicit_none_matches_runner_memory_golden(self):
+        runner = get_runner("lap_runtime")
+        golden_rows = json.loads(GOLDEN.read_text())
+        for case, expected in zip(GOLDEN_CASES, golden_rows):
+            row = runner(dict(case, local_store_kb=None))
+            assert row == expected  # byte-identical, not approx
+
+    @pytest.mark.parametrize(
+        "row",
+        json.loads((pathlib.Path(__file__).resolve().parent
+                    / "goldens" / "runtime" / "lap_runtime.json").read_text()),
+        ids=lambda r: f"{r['algorithm']}-n{r['n']}-c{r['num_cores']}")
+    def test_explicit_none_matches_pre_refactor_schedules(self, row):
+        runtime = make_runtime(num_cores=row["num_cores"], tile=row["tile"],
+                               nr=row["nr"], onchip_mbytes=1.0,
+                               local_store_kb=None, stall_overlap=0.0)
+        stats = runtime.run_workload(row["algorithm"], row["n"],
+                                     np.random.default_rng(row["seed"]))
+        assert stats["makespan_cycles"] == row["makespan_cycles"]
+        assert stats["per_core_busy_cycles"] == row["per_core_busy_cycles"]
+        assert stats["parallel_efficiency"] == row["parallel_efficiency"]
+        assert stats["residual"] == row["residual"]
+
+
+# --------------------------------------------- runtime_energy_pareto golden
+def test_runtime_energy_pareto_golden_frontier():
+    """Acceptance: the committed energy/runtime sweep has a non-degenerate
+    Pareto frontier (>= 3 distinct points), its energy terms add up, and
+    the frontier is internally consistent (no frontier row dominates
+    another)."""
+    golden = json.loads((pathlib.Path(__file__).resolve().parent
+                         / "goldens" / "runtime_energy_pareto.json").read_text())
+    assert len(golden) > 10
+    for row in golden:
+        assert row["total_energy_j"] == pytest.approx(
+            row["dynamic_energy_j"] + row["static_energy_j"])
+    frontier = [row for row in golden if row["on_frontier"]]
+    distinct = {(row["total_energy_j"], row["makespan_cycles"])
+                for row in frontier}
+    assert len(distinct) >= 3
+    for a in frontier:
+        for b in frontier:
+            assert not (a["total_energy_j"] < b["total_energy_j"]
+                        and a["makespan_cycles"] < b["makespan_cycles"])
+    # Every off-frontier row is dominated (weakly on one axis, strictly
+    # overall) by some frontier row.
+    for row in golden:
+        if row["on_frontier"]:
+            continue
+        assert any(f["total_energy_j"] <= row["total_energy_j"]
+                   and f["makespan_cycles"] <= row["makespan_cycles"]
+                   and (f["total_energy_j"] < row["total_energy_j"]
+                        or f["makespan_cycles"] < row["makespan_cycles"])
+                   for f in frontier)
+
+
+def test_lap_runtime_rows_expose_local_store_columns():
+    runner = get_runner("lap_runtime")
+    row = runner({"algorithm": "cholesky", "n": 48, "tile": 8, "num_cores": 2,
+                  "nr": 4, "seed": 0, "timing": "memoized", "verify": False,
+                  "on_chip_kb": 6.0, "local_store_kb": 2.0,
+                  "stall_overlap": 0.5})
+    for column in ("local_store_kb", "local_hit_bytes", "shared_to_local_bytes",
+                   "c2c_bytes", "local_hit_rate", "local_transfer_cycles",
+                   "peak_local_resident_kb", "stall_overlap"):
+        assert column in row
+    assert row["local_store_kb"] == 2.0
+    assert row["stall_overlap"] == 0.5
+    assert 0.0 < row["local_hit_rate"] < 1.0
+    # Without the parameters the columns stay absent (golden compatibility).
+    plain = runner({"algorithm": "cholesky", "n": 48, "tile": 8,
+                    "num_cores": 2, "nr": 4, "seed": 0, "timing": "memoized",
+                    "verify": False, "on_chip_kb": 6.0})
+    assert "local_hit_rate" not in plain and "stall_overlap" not in plain
 
 
 def test_lap_runtime_rows_expose_memory_columns():

@@ -215,7 +215,7 @@ def _schedule_is_valid(runtime, graph):
 class TestPolicies:
     def test_registry(self):
         assert policy_names() == sorted(POLICIES) == [
-            "critical_path", "greedy", "locality", "memory_aware"]
+            "affinity", "critical_path", "greedy", "locality", "memory_aware"]
         assert get_policy("greedy").name == "greedy"
         instance = CriticalPathPriority()
         assert get_policy(instance) is instance
