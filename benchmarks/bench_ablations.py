@@ -30,7 +30,7 @@ from repro.models.fact_model import (FactorizationKernel, FactorizationKernelMod
                                      MACExtension)
 
 
-def test_ablation_delayed_normalization(benchmark):
+def test_ablation_delayed_normalization(benchmark, bench_json):
     """Single-cycle accumulation with delayed normalization saves ~15% MAC power."""
     def build():
         with_dn = FMACUnit(precision=Precision.DOUBLE, delayed_normalization=True)
@@ -40,6 +40,11 @@ def test_ablation_delayed_normalization(benchmark):
     power_with, power_without = benchmark(build)
     saving = 1.0 - power_with / power_without
     assert 0.10 <= saving <= 0.20
+    bench_json("ablation_delayed_normalization", {
+        "power_with_dn_w": power_with,
+        "power_without_dn_w": power_without,
+        "power_saving_fraction": saving,
+    })
 
 
 def test_ablation_replicated_b_enables_full_overlap(benchmark):

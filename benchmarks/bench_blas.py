@@ -1,14 +1,29 @@
 """Benchmarks regenerating the level-3 BLAS experiments (Chapter 5)."""
 
+import time
+
 import pytest
 
 from repro.experiments.registry import run_experiment
 
 
-def test_fig_5_8(benchmark, report):
+def test_fig_5_8(benchmark, report, bench_json):
     """SYRK utilisation vs local store & bandwidth: approaches peak with both."""
-    rows = benchmark(lambda: run_experiment("fig_5_8_5_9"))
+    last = {}
+
+    def regenerate():
+        started = time.perf_counter()
+        rows = run_experiment("fig_5_8_5_9")
+        last["elapsed"] = time.perf_counter() - started
+        return rows
+
+    rows = benchmark(regenerate)
     report("fig_5_8_5_9", rows[:40])
+    bench_json("blas_fig_5_8", {
+        "rows": len(rows),
+        "regenerate_seconds": last["elapsed"],
+        "max_utilization_pct": max(r["utilization_pct"] for r in rows),
+    })
     syrk = [r for r in rows if r["operation"] == "syrk"]
     assert syrk
     # Monotone in local store size at fixed bandwidth.

@@ -1,14 +1,28 @@
 """Benchmarks regenerating the CPU/GPU vs LAP comparisons (Sec. 4.5)."""
 
+import time
+
 import pytest
 
 from repro.experiments.registry import run_experiment
 
 
-def test_fig_4_13_to_4_15(benchmark, report):
+def test_fig_4_13_to_4_15(benchmark, report, bench_json):
     """Normalised power breakdowns: GPUs/CPUs are overhead-dominated, the LAP is not."""
-    data = benchmark(lambda: run_experiment("fig_4_13_4_15"))
+    last = {}
+
+    def regenerate():
+        started = time.perf_counter()
+        data = run_experiment("fig_4_13_4_15")
+        last["elapsed"] = time.perf_counter() - started
+        return data
+
+    data = benchmark(regenerate)
     report("fig_4_13_4_15", data)
+    bench_json("compare_fig_4_13_4_15", {
+        "architectures": len(data),
+        "regenerate_seconds": last["elapsed"],
+    })
     # Every breakdown is W/GFLOPS per component, all positive.
     for arch, series in data.items():
         assert all(v >= 0.0 for v in series.values()), arch

@@ -5,15 +5,31 @@ regenerating the experiment) and asserts the qualitative claims the
 corresponding table/figure supports in the dissertation.
 """
 
+import time
+
 import pytest
 
 from repro.experiments.registry import run_experiment
 
 
-def test_table_3_1(benchmark, report):
+def test_table_3_1(benchmark, report, bench_json):
     """PE design points: DP power efficiency tens of GFLOPS/W, SP ~2x better."""
-    rows = benchmark(lambda: run_experiment("table_3_1"))
+    last = {}
+
+    def regenerate():
+        started = time.perf_counter()
+        rows = run_experiment("table_3_1")
+        last["elapsed"] = time.perf_counter() - started
+        return rows
+
+    rows = benchmark(regenerate)
     report("table_3_1", rows)
+    bench_json("core_table_3_1", {
+        "rows": len(rows),
+        "regenerate_seconds": last["elapsed"],
+        "best_dp_gflops_per_w": max(r["gflops_per_w"] for r in rows
+                                    if r["precision"] == "DP"),
+    })
     sp = [r for r in rows if r["precision"] == "SP"]
     dp = [r for r in rows if r["precision"] == "DP"]
     assert len(sp) == 4 and len(dp) == 4

@@ -8,6 +8,7 @@ recomputing even a small sweep.
 """
 
 import json
+import time
 
 import pytest
 
@@ -23,11 +24,26 @@ def _jobs():
     return spec.jobs("simulate")
 
 
-def test_sweep_serial(benchmark):
+def test_sweep_serial(benchmark, bench_json):
     jobs = _jobs()
-    result = benchmark(lambda: execute_jobs(jobs, mode="serial"))
+    last = {}
+
+    def run():
+        started = time.perf_counter()
+        result = execute_jobs(jobs, mode="serial")
+        last["elapsed"] = time.perf_counter() - started
+        return result
+
+    result = benchmark(run)
     assert result.executed == len(jobs)
     assert all(row["utilization"] > 0 for row in result.rows)
+    measured = [lat for lat in result.job_latency_s if lat is not None]
+    bench_json("engine_sweep_serial", {
+        "jobs": len(jobs),
+        "sweep_seconds": last["elapsed"],
+        "mean_job_latency_s": sum(measured) / len(measured),
+        "max_job_latency_s": max(measured),
+    })
 
 
 def test_sweep_parallel_matches_serial(benchmark):

@@ -1,14 +1,28 @@
 """Benchmarks regenerating the power/area exploration experiments (Sec. 4.4)."""
 
+import time
+
 import pytest
 
 from repro.experiments.registry import run_experiment
 
 
-def test_fig_4_7_4_8(benchmark, report):
+def test_fig_4_7_4_8(benchmark, report, bench_json):
     """PE area/power vs local store size: store dominates area, FPU dominates power."""
-    rows = benchmark(lambda: run_experiment("fig_4_7_4_8"))
+    last = {}
+
+    def regenerate():
+        started = time.perf_counter()
+        rows = run_experiment("fig_4_7_4_8")
+        last["elapsed"] = time.perf_counter() - started
+        return rows
+
+    rows = benchmark(regenerate)
     report("fig_4_7_4_8", rows)
+    bench_json("power_fig_4_7_4_8", {
+        "rows": len(rows),
+        "regenerate_seconds": last["elapsed"],
+    })
     # Area grows monotonically with the local store size.
     areas = [r["pe_area_mm2"] for r in rows]
     assert all(b >= a for a, b in zip(areas, areas[1:]))

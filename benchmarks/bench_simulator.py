@@ -7,6 +7,8 @@ They double as ablation benches: GEMM with and without operand prefetching
 accounting, and TRSM inner-kernel variants.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -26,13 +28,17 @@ def _fresh_core(nr: int = 4) -> LinearAlgebraCore:
     return LinearAlgebraCore(LACConfig(nr=nr))
 
 
-def test_simulated_gemm_16x16(benchmark):
+def test_simulated_gemm_16x16(benchmark, bench_json):
     a = RNG.random((16, 16))
     b = RNG.random((16, 16))
     c = RNG.random((16, 16))
+    last = {}
 
     def run():
-        return lac_gemm(_fresh_core(), c, a, b)
+        started = time.perf_counter()
+        result = lac_gemm(_fresh_core(), c, a, b)
+        last["elapsed"] = time.perf_counter() - started
+        return result
 
     result = benchmark(run)
     np.testing.assert_allclose(result.output, c + a @ b, rtol=1e-12)
@@ -40,6 +46,11 @@ def test_simulated_gemm_16x16(benchmark):
     # Utilisation of the simulated run stays healthy even with every operand
     # transfer charged (no prefetch overlap modelled in this small run).
     assert result.utilization > 0.4
+    bench_json("simulator_gemm_16x16", {
+        "cycles": result.cycles,
+        "utilization": result.utilization,
+        "simulate_seconds": last["elapsed"],
+    })
 
 
 def test_simulated_gemm_matches_analytical_peak_term(benchmark):

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Provides five sub-commands:
+Provides seven sub-commands:
 
 ``experiments``
     list or regenerate the tables/figures of the evaluation
@@ -30,7 +30,19 @@ Provides five sub-commands:
 ``cache``
     inspect and manage the on-disk sweep result cache
     (``python -m repro.cli cache stats`` / ``... cache prune --max-mb 64``
-    / ``... cache clear``).
+    / ``... cache clear``); ``stats`` reports live and lifetime hit-rates.
+``trace``
+    run one workload through the instrumented LAP runtime and export a
+    Chrome-trace-event JSON (one track per core, per-task cycle
+    decompositions, idle gaps) plus the cycle-attribution table
+    (``python -m repro.cli trace --workload cholesky --n 512``); open the
+    ``.trace.json`` in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``.
+``report``
+    re-print the cycle-attribution table of a saved ``.trace.json`` and/or
+    the telemetry of a sweep's run manifest
+    (``python -m repro.cli report --trace cholesky_n512.trace.json
+    --manifest sweep.json.manifest.json``).
 """
 
 from __future__ import annotations
@@ -53,6 +65,12 @@ from repro.hw.fpu import Precision
 from repro.kernels.dispatch import (check_size, fft_point_count, kernel_names,
                                     simulate_kernel)
 from repro.lac import LACConfig, LinearAlgebraCore
+from repro.lap.policies import policy_names
+from repro.lap.timing import timing_names
+from repro.obs.manifest import manifest_path_for, write_run_manifest
+
+#: Workloads the ``trace`` sub-command can decompose and schedule.
+TRACE_WORKLOADS = ("gemm", "cholesky", "lu", "qr")
 
 #: Default on-disk cache location of the ``sweep`` sub-command; override
 #: with ``--cache-dir``, ``REPRO_CACHE_DIR`` or disable with ``--no-cache``.
@@ -237,6 +255,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.progress:
         print(file=sys.stderr)
 
+    # Persist the run's telemetry (shard wall times, job latencies, cache
+    # hit-rate) next to the sweep output: an explicit --manifest path wins,
+    # otherwise a --json file output gets a sibling <output>.manifest.json.
+    manifest_target = args.manifest
+    if manifest_target is None and args.json and args.json not in ("-", os.devnull):
+        manifest_target = str(manifest_path_for(args.json))
+    if manifest_target is not None:
+        try:
+            written = write_run_manifest(result, manifest_target,
+                                         runner=args.runner,
+                                         extra={"output": args.json})
+            print(f"wrote {written}", file=sys.stderr)
+        except OSError as exc:
+            print(f"warning: cannot write run manifest to "
+                  f"'{manifest_target}': {exc}", file=sys.stderr)
+
     objectives = ([o.strip() for o in args.objectives.split(",") if o.strip()]
                   if args.objectives else list(PARETO_OBJECTIVES.get(args.runner, ())))
     try:
@@ -316,6 +350,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         for key in ("directory", "code_version", "entries", "size_bytes",
                     "size_mbytes", "max_bytes"):
             print(f"{key:<14s}: {stats[key]}")
+        lifetime = stats["lifetime"]
+        print(f"{'hits':<14s}: {lifetime['hits']} (lifetime)")
+        print(f"{'misses':<14s}: {lifetime['misses']} (lifetime)")
+        print(f"{'evictions':<14s}: {lifetime['evictions']} (lifetime)")
+        print(f"{'hit_rate':<14s}: {100.0 * lifetime['hit_rate']:.1f}% (lifetime)")
         return 0
     if args.action == "clear":
         removed = cache.clear()
@@ -341,6 +380,164 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                           args.json)
     print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'}; "
           f"{stats['entries']} left ({stats['size_bytes'] / 2 ** 20:.3f} MB)")
+    return 0
+
+
+# ------------------------------------------------------------------- trace
+def _attribution_table(attribution) -> str:
+    """Render a cycle attribution as the standard report table."""
+    rows = []
+    for row in attribution.table_rows():
+        rows.append({
+            "core": row["core"],
+            "tasks": row["tasks"],
+            "compute": round(row["compute_cycles"], 1),
+            "stall": round(row["spill_stall_cycles"], 1),
+            "transfer": round(row["transfer_cycles"], 1),
+            "idle": round(row["idle_cycles"], 1),
+            "compute%": round(row["compute_pct"], 1),
+            "stall%": round(row["stall_pct"], 1),
+            "transfer%": round(row["transfer_pct"], 1),
+            "idle%": round(row["idle_pct"], 1),
+        })
+    return render_table(rows, max_rows=len(rows))
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.lap.chip import LAPConfig, LinearAlgebraProcessor
+    from repro.lap.runtime import LAPRuntime
+    from repro.obs import Tracer, to_chrome_trace, write_chrome_trace
+
+    tracer = Tracer()
+    try:
+        lap = LinearAlgebraProcessor(LAPConfig(
+            num_cores=args.cores, nr=args.nr,
+            onchip_memory_mbytes=args.onchip_mbytes))
+        runtime = LAPRuntime(
+            lap, args.tile, policy=args.policy, timing=args.timing,
+            on_chip_kb=args.on_chip_kb, bandwidth_gbs=args.bandwidth_gbs,
+            local_store_kb=args.local_store_kb,
+            stall_overlap=args.stall_overlap, tracer=tracer)
+        stats = runtime.run_workload(args.workload, args.n,
+                                     np.random.default_rng(args.seed))
+    except (ValueError, np.linalg.LinAlgError) as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 2
+    attribution = runtime.attribution()
+    try:
+        # Conservation is a hard export precondition: a trace whose
+        # components do not tile cores x makespan is a runtime bug.
+        attribution.check()
+    except ValueError as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 2
+
+    out = args.out or f"{args.workload}_n{args.n}.trace.json"
+    graph = stats.get("graph", {})
+    payload = to_chrome_trace(
+        tracer,
+        process_name=f"LAP ({args.cores} cores, {args.workload} n={args.n})",
+        metadata={
+            "workload": {
+                "workload": args.workload, "n": args.n, "tile": args.tile,
+                "num_cores": args.cores, "nr": args.nr,
+                "policy": runtime.policy.name, "timing": runtime.timing.name,
+                "seed": args.seed, "on_chip_kb": args.on_chip_kb,
+                "bandwidth_gbs": args.bandwidth_gbs,
+                "local_store_kb": args.local_store_kb,
+                "stall_overlap": args.stall_overlap,
+            },
+            "stats": {key: value for key, value in stats.items()
+                      if key != "graph"},
+            "graph": graph,
+            "cycle_attribution": attribution.as_dict(),
+        })
+    try:
+        written = write_chrome_trace(payload, out)
+    except (OSError, ValueError) as exc:
+        print(f"trace failed: cannot export '{out}': {exc}", file=sys.stderr)
+        return 2
+
+    print(f"{args.workload} n={args.n} tile={args.tile} on {args.cores} cores "
+          f"[{runtime.policy.name}/{runtime.timing.name}]: "
+          f"makespan {stats['makespan_cycles']:.0f} cycles, "
+          f"parallel efficiency {100 * stats['parallel_efficiency']:.1f}%")
+    if stats.get("residual") is not None:
+        print(f"residual      : {stats['residual']:.3e}")
+    print()
+    print(_attribution_table(attribution))
+    print()
+    print(f"wrote {written} ({len(tracer.spans)} spans, "
+          f"{len(payload['traceEvents'])} events); open in Perfetto "
+          f"(https://ui.perfetto.dev) or chrome://tracing")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs.attribution import CycleAttribution
+
+    if not args.trace and not args.manifest:
+        print("nothing to report: pass --trace TRACE.json and/or "
+              "--manifest MANIFEST.json", file=sys.stderr)
+        return 2
+    payload: Dict[str, object] = {}
+    if args.trace:
+        try:
+            with open(args.trace) as handle:
+                trace = json_module.load(handle)
+            attribution_dict = trace["metadata"]["cycle_attribution"]
+            attribution = CycleAttribution.from_dict(attribution_dict)
+        except (OSError, json_module.JSONDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            print(f"cannot read attribution from '{args.trace}': {exc}",
+                  file=sys.stderr)
+            return 2
+        payload["trace"] = {"path": args.trace,
+                            "workload": trace["metadata"].get("workload"),
+                            "cycle_attribution": attribution_dict}
+        if not args.json:
+            workload = trace["metadata"].get("workload") or {}
+            label = " ".join(f"{key}={value}" for key, value in
+                             sorted(workload.items()) if value is not None)
+            print(f"cycle attribution [{label}]" if label
+                  else "cycle attribution")
+            print(_attribution_table(attribution))
+            print()
+    if args.manifest:
+        try:
+            with open(args.manifest) as handle:
+                manifest = json_module.load(handle)
+        except (OSError, json_module.JSONDecodeError) as exc:
+            print(f"cannot read run manifest '{args.manifest}': {exc}",
+                  file=sys.stderr)
+            return 2
+        payload["manifest"] = manifest
+        if not args.json:
+            print(f"sweep telemetry [{manifest.get('runner', '?')}]: "
+                  f"{manifest.get('jobs', '?')} jobs, "
+                  f"{manifest.get('executed', '?')} executed, "
+                  f"{manifest.get('cached', '?')} cached "
+                  f"[{manifest.get('mode', '?')}, "
+                  f"{manifest.get('elapsed_s', 0.0):.2f}s]")
+            cache_stats = manifest.get("cache")
+            if cache_stats:
+                print(f"cache         : {cache_stats.get('hits', 0)} hits, "
+                      f"{cache_stats.get('misses', 0)} misses "
+                      f"({100.0 * cache_stats.get('hit_rate', 0.0):.1f}% "
+                      f"hit rate)")
+            latency = manifest.get("latency") or {}
+            if latency.get("count"):
+                print(f"job latency   : {latency['count']} measured, "
+                      f"mean {1e3 * latency['mean_s']:.1f} ms, "
+                      f"max {1e3 * latency['max_s']:.1f} ms")
+            shards = manifest.get("shards") or []
+            if shards:
+                print()
+                print(render_table(shards, max_rows=args.max_rows))
+    if args.json:
+        return _emit_json(payload, args.json)
     return 0
 
 
@@ -400,6 +597,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print job progress to stderr")
     p_swp.add_argument("--json", metavar="PATH",
                        help="write rows + frontier as JSON to PATH ('-' for stdout)")
+    p_swp.add_argument("--manifest", metavar="PATH", default=None,
+                       help="write the run manifest (shard timings, job "
+                            "latencies, cache hit-rate) to PATH; defaults to "
+                            "<json-output>.manifest.json when --json writes "
+                            "to a file")
     p_swp.set_defaults(func=_cmd_sweep)
 
     p_cache = sub.add_parser("cache", help="inspect or manage the sweep result cache")
@@ -416,6 +618,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--json", metavar="PATH",
                          help="write the result as JSON to PATH ('-' for stdout)")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_trc = sub.add_parser("trace",
+                           help="export a Chrome trace of one LAP workload")
+    p_trc.add_argument("--workload", choices=TRACE_WORKLOADS, default="cholesky",
+                       help="blocked algorithm to schedule (default: cholesky)")
+    p_trc.add_argument("--n", type=int, default=512, help="problem dimension")
+    p_trc.add_argument("--tile", type=int, default=64,
+                       help="tile edge length (a multiple of --nr)")
+    p_trc.add_argument("--cores", type=int, default=8)
+    p_trc.add_argument("--nr", type=int, default=4, help="core dimension")
+    p_trc.add_argument("--policy", choices=policy_names(), default="greedy")
+    p_trc.add_argument("--timing", choices=timing_names(), default="memoized")
+    p_trc.add_argument("--seed", type=int, default=0)
+    p_trc.add_argument("--onchip-mbytes", type=float, default=4.0,
+                       help="physical on-chip memory in MB")
+    p_trc.add_argument("--on-chip-kb", type=float, default=None,
+                       help="tile-residency capacity override in KiB "
+                            "(shrink to surface spill stalls)")
+    p_trc.add_argument("--bandwidth-gbs", type=float, default=None,
+                       help="off-chip bandwidth override in GB/s")
+    p_trc.add_argument("--local-store-kb", type=float, default=None,
+                       help="per-core local store in KiB (enables the "
+                            "two-level hierarchy)")
+    p_trc.add_argument("--stall-overlap", type=float, default=0.0,
+                       help="fraction of data-movement cycles hidden under "
+                            "compute, in [0, 1] (default: 0)")
+    p_trc.add_argument("--out", metavar="PATH", default=None,
+                       help="trace output path (default: "
+                            "<workload>_n<n>.trace.json)")
+    p_trc.set_defaults(func=_cmd_trace)
+
+    p_rep = sub.add_parser("report",
+                           help="print attribution / sweep telemetry reports")
+    p_rep.add_argument("--trace", metavar="PATH", default=None,
+                       help="a .trace.json written by `repro trace`")
+    p_rep.add_argument("--manifest", metavar="PATH", default=None,
+                       help="a run manifest written by `repro sweep`")
+    p_rep.add_argument("--max-rows", type=int, default=16)
+    p_rep.add_argument("--json", metavar="PATH", default=None,
+                       help="write the report as JSON to PATH ('-' for stdout)")
+    p_rep.set_defaults(func=_cmd_report)
     return parser
 
 

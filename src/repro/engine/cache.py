@@ -40,6 +40,14 @@ _ENFORCE_EVERY_PUTS = 32
 #: full prune scan on every subsequent write.
 _LOW_WATER_FRACTION = 0.9
 
+#: Sidecar file (in the cache root, outside the ``??/`` entry fan-out)
+#: accumulating hit/miss/eviction counters across cache instances, so
+#: ``repro cache stats`` can report lifetime hit-rates after the sweeps
+#: that produced them have exited.
+_STATS_FILENAME = "_stats.json"
+
+_COUNTER_KEYS = ("hits", "misses", "evictions")
+
 
 def env_max_bytes() -> Optional[int]:
     """Cache size budget from ``REPRO_CACHE_MAX_MB``, or ``None`` if unset.
@@ -130,6 +138,9 @@ class ResultCache:
         self.evictions = 0
         self._approx_bytes: Optional[int] = None
         self._puts_since_enforce = 0
+        #: Counter values already folded into the on-disk lifetime stats
+        #: (so repeated ``persist_stats()`` calls never double-count).
+        self._persisted = {key: 0 for key in _COUNTER_KEYS}
 
     # ---------------------------------------------------------------- keys
     def key_for(self, job: Job) -> str:
@@ -295,8 +306,81 @@ class ResultCache:
         self._approx_bytes = total_bytes
         return removed
 
+    # ----------------------------------------------------------- telemetry
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups this instance served from disk (0.0 if none)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> Dict[str, object]:
+        """This instance's live hit/miss counters (no directory scan).
+
+        The cheap snapshot the executor attaches to every
+        :class:`~repro.engine.executor.SweepResult`; use :meth:`stats` for
+        the full picture including on-disk sizes.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def _stats_path(self) -> pathlib.Path:
+        return self.directory / _STATS_FILENAME
+
+    def _read_lifetime(self) -> Dict[str, int]:
+        """The persisted lifetime counters (zeros when absent/corrupt)."""
+        try:
+            with self._stats_path().open("r") as handle:
+                payload = json.load(handle)
+            return {key: int(payload.get(key, 0)) for key in _COUNTER_KEYS}
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError, TypeError,
+                ValueError):
+            return {key: 0 for key in _COUNTER_KEYS}
+
+    def persist_stats(self) -> None:
+        """Fold this instance's unpersisted counters into the lifetime stats.
+
+        Best effort (a read-only cache directory is not an error): the
+        executor calls this after every run so ``repro cache stats`` can
+        report hit-rates across processes.  Idempotent -- already-persisted
+        counts are never folded in twice.
+        """
+        deltas = {key: getattr(self, key) - self._persisted[key]
+                  for key in _COUNTER_KEYS}
+        if not any(deltas.values()):
+            return
+        lifetime = self._read_lifetime()
+        for key, delta in deltas.items():
+            lifetime[key] += delta
+        try:
+            fd, tmp_name = tempfile.mkstemp(dir=str(self.directory),
+                                            suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(lifetime, handle)
+            os.replace(tmp_name, self._stats_path())
+        except OSError:
+            return
+        self._persisted = {key: getattr(self, key) for key in _COUNTER_KEYS}
+
+    def lifetime_stats(self) -> Dict[str, object]:
+        """Cross-process counters: persisted totals plus unpersisted deltas."""
+        lifetime = self._read_lifetime()
+        for key in _COUNTER_KEYS:
+            lifetime[key] += getattr(self, key) - self._persisted[key]
+        total = lifetime["hits"] + lifetime["misses"]
+        return {**lifetime,
+                "hit_rate": lifetime["hits"] / total if total else 0.0}
+
     def stats(self) -> Dict[str, object]:
-        """Hit/miss counters of this cache instance plus the on-disk size."""
+        """Hit/miss counters of this cache instance plus the on-disk size.
+
+        ``hits`` / ``misses`` / ``hit_rate`` are this instance's live
+        counters; the ``lifetime`` block aggregates them across every
+        process that has used the directory (see :meth:`persist_stats`).
+        """
         entries = 0
         size_bytes = 0
         for path in self._entry_paths():
@@ -311,6 +395,8 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "lifetime": self.lifetime_stats(),
             "entries": entries,
             "size_bytes": size_bytes,
             "max_bytes": self.max_bytes,

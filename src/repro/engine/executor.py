@@ -10,6 +10,11 @@ returned in job order, so serial and parallel sweeps are byte-identical.
 Workers receive only (runner name, parameter dicts); the runner function is
 re-resolved inside the worker from :mod:`repro.engine.runners`, which keeps
 shards trivially picklable.
+
+Every run also measures its own telemetry -- per-shard wall times, per-job
+latency (measured inside the worker) and the cache's hit/miss counters --
+carried on the :class:`SweepResult` and exportable as a structured run
+manifest through :mod:`repro.obs.manifest`.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from __future__ import annotations
 import concurrent.futures
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import ResultCache
@@ -28,12 +33,23 @@ ProgressCallback = Callable[[int, int], None]
 MODES = ("auto", "serial", "thread", "process")
 
 
-def _run_shard(runner_name: str, params_list: List[Params]) -> List[dict]:
-    """Execute one shard of same-runner jobs (also the process-pool target)."""
+def _run_shard(runner_name: str,
+               params_list: List[Params]) -> Tuple[List[dict], List[float]]:
+    """Execute one shard of same-runner jobs (also the process-pool target).
+
+    Returns the result rows plus the per-job wall seconds, measured in the
+    worker so pool queueing never inflates a job's reported latency.
+    """
     from repro.engine.runners import get_runner
 
     runner = get_runner(runner_name)
-    return [runner(params) for params in params_list]
+    rows: List[dict] = []
+    seconds: List[float] = []
+    for params in params_list:
+        started = time.perf_counter()
+        rows.append(runner(params))
+        seconds.append(time.perf_counter() - started)
+    return rows, seconds
 
 
 @dataclass
@@ -41,7 +57,12 @@ class SweepResult:
     """Outcome of one executor run.
 
     ``rows`` is aligned with ``jobs``: ``rows[i]`` is the result of
-    ``jobs[i]`` regardless of cache state or completion order.
+    ``jobs[i]`` regardless of cache state or completion order.  So is
+    ``job_latency_s`` -- the worker-side wall seconds of each executed job,
+    ``None`` for cache hits.  ``shard_timings`` records one entry per
+    executed shard (runner, job count, worker wall seconds) and
+    ``cache_stats`` snapshots the result cache's live hit/miss counters
+    (``None`` when the run was uncached).
     """
 
     jobs: List[Job]
@@ -50,14 +71,22 @@ class SweepResult:
     cached: int
     mode: str
     elapsed_s: float
+    shard_timings: List[dict] = field(default_factory=list)
+    job_latency_s: List[Optional[float]] = field(default_factory=list)
+    cache_stats: Optional[dict] = None
 
     @property
     def total(self) -> int:
         return len(self.jobs)
 
     def summary(self) -> str:
-        return (f"{self.total} jobs: {self.executed} executed, "
+        text = (f"{self.total} jobs: {self.executed} executed, "
                 f"{self.cached} cached [{self.mode}, {self.elapsed_s:.2f}s]")
+        if self.cache_stats is not None:
+            text += (f" | cache: {self.cache_stats['hits']} hits, "
+                     f"{self.cache_stats['misses']} misses "
+                     f"({100.0 * self.cache_stats['hit_rate']:.1f}% hit rate)")
+        return text
 
 
 class SweepExecutor:
@@ -147,6 +176,8 @@ class SweepExecutor:
         jobs = list(jobs)
         started = time.perf_counter()
         rows: List[Optional[dict]] = [None] * len(jobs)
+        latencies: List[Optional[float]] = [None] * len(jobs)
+        shard_timings: List[dict] = []
         cached = 0
         if self.cache is not None:
             for index, job in enumerate(jobs):
@@ -167,21 +198,30 @@ class SweepExecutor:
             # and empty runs execute in-process.
             mode = "serial"
             done = cached
-            for shard in shards:
+            for shard_id, shard in enumerate(shards):
                 self._finish_shard(shard, _run_shard(shard[0][1].runner,
-                                                     [j.params_dict for _, j in shard]), rows)
+                                                     [j.params_dict for _, j in shard]),
+                                   rows, latencies, shard_timings, shard_id)
                 done += len(shard)
                 self._report(done, len(jobs))
         else:
-            mode = self._run_pool(mode, workers, shards, rows, cached, len(jobs))
+            mode = self._run_pool(mode, workers, shards, rows, latencies,
+                                  shard_timings, cached, len(jobs))
 
         executed = len(pending)
         elapsed = time.perf_counter() - started
+        cache_stats = None
+        if self.cache is not None:
+            cache_stats = self.cache.counters()
+            self.cache.persist_stats()
         return SweepResult(jobs=jobs, rows=list(rows), executed=executed,
-                           cached=cached, mode=mode, elapsed_s=elapsed)
+                           cached=cached, mode=mode, elapsed_s=elapsed,
+                           shard_timings=shard_timings,
+                           job_latency_s=latencies, cache_stats=cache_stats)
 
     def _run_pool(self, mode: str, workers: int,
                   shards: List[List[Tuple[int, Job]]], rows: List[Optional[dict]],
+                  latencies: List[Optional[float]], shard_timings: List[dict],
                   cached: int, total: int) -> str:
         pool_cls = (concurrent.futures.ProcessPoolExecutor if mode == "process"
                     else concurrent.futures.ThreadPoolExecutor)
@@ -197,12 +237,13 @@ class SweepExecutor:
             with pool:
                 futures = {
                     pool.submit(_run_shard, shard[0][1].runner,
-                                [job.params_dict for _, job in shard]): shard
-                    for shard in shards
+                                [job.params_dict for _, job in shard]): (shard_id, shard)
+                    for shard_id, shard in enumerate(shards)
                 }
                 for future in concurrent.futures.as_completed(futures):
-                    shard = futures[future]
-                    self._finish_shard(shard, future.result(), rows)
+                    shard_id, shard = futures[future]
+                    self._finish_shard(shard, future.result(), rows, latencies,
+                                       shard_timings, shard_id)
                     done += len(shard)
                     self._report(done, total)
         except concurrent.futures.BrokenExecutor:
@@ -211,17 +252,29 @@ class SweepExecutor:
             # A broken process pool (e.g. fork disallowed) degrades to a
             # serial re-run of every shard with any row still missing.
             mode = "serial"
-            for shard in shards:
+            for shard_id, shard in enumerate(shards):
                 if any(rows[index] is None for index, _ in shard):
                     self._finish_shard(shard, _run_shard(shard[0][1].runner,
-                                                         [j.params_dict for _, j in shard]), rows)
+                                                         [j.params_dict for _, j in shard]),
+                                       rows, latencies, shard_timings, shard_id)
             self._report(total, total)
         return mode
 
     def _finish_shard(self, shard: List[Tuple[int, Job]],
-                      shard_rows: List[dict], rows: List[Optional[dict]]) -> None:
-        for (index, job), row in zip(shard, shard_rows):
+                      shard_result: Tuple[List[dict], List[float]],
+                      rows: List[Optional[dict]],
+                      latencies: List[Optional[float]],
+                      shard_timings: List[dict], shard_id: int) -> None:
+        shard_rows, shard_seconds = shard_result
+        shard_timings.append({
+            "shard": shard_id,
+            "runner": shard[0][1].runner,
+            "jobs": len(shard),
+            "elapsed_s": float(sum(shard_seconds)),
+        })
+        for (index, job), row, seconds in zip(shard, shard_rows, shard_seconds):
             rows[index] = row
+            latencies[index] = seconds
             if self.cache is not None:
                 try:
                     self.cache.put(job, row)

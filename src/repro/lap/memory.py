@@ -119,6 +119,26 @@ class TaskMemoryEvent:
         """Bytes this task moved across the chip boundary."""
         return self.refill_bytes + self.writeback_bytes
 
+    def as_args(self) -> Dict[str, float]:
+        """The event as flat trace-span arguments (non-zero fields only).
+
+        The observability layer attaches this to the task's span so every
+        byte of a task's data movement is inspectable in the trace viewer;
+        zero-valued fields are dropped to keep large traces small.
+        """
+        fields = {
+            "refill_bytes": self.refill_bytes,
+            "compulsory_bytes": self.compulsory_bytes,
+            "spill_refill_bytes": self.spill_refill_bytes,
+            "writeback_bytes": self.writeback_bytes,
+            "energy_j": self.energy_j,
+            "flops": self.flops,
+            "local_hit_bytes": self.local_hit_bytes,
+            "shared_to_local_bytes": self.shared_to_local_bytes,
+            "c2c_bytes": self.c2c_bytes,
+        }
+        return {name: value for name, value in fields.items() if value}
+
 
 class TileResidency:
     """LRU working set of logical tiles over an on-chip capacity.

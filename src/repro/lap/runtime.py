@@ -57,7 +57,10 @@ from repro.lap.policies import SchedulerPolicy, get_policy
 from repro.lap.taskgraph import (AlgorithmsByBlocks, TaskDescriptor, TaskGraph,
                                  TaskKind)
 from repro.lap.timing import (TimingModel, compose_task_cycles,
-                              get_timing_model, task_signature)
+                              decompose_task_cycles, get_timing_model,
+                              task_signature)
+from repro.obs.attribution import CycleAttribution, idle_gaps
+from repro.obs.tracer import Tracer
 from repro.reference.factorizations import (ref_apply_reflectors,
                                             ref_householder_qr_factored,
                                             ref_lu_nopivot)
@@ -162,6 +165,13 @@ class LAPRuntime:
         shared-to-local transfers) hidden under compute by prefetching, in
         [0, 1] (see :func:`repro.lap.timing.compose_task_cycles`); 0
         (default) fully serialises them, 1 hides them entirely.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer`: every executed task then
+        becomes a span on its core's track (args carrying the cycle
+        decomposition and data-movement bytes), scheduler-idle gaps become
+        ``idle`` spans, and spill/stall counters accumulate timestamped
+        series.  ``None`` (default) and a disabled tracer record nothing
+        and leave schedules byte-identical to an uninstrumented run.
     """
 
     def __init__(self, lap: LinearAlgebraProcessor, tile: int,
@@ -172,7 +182,8 @@ class LAPRuntime:
                  on_chip_kb: Optional[float] = None,
                  bandwidth_gbs: Optional[float] = None,
                  local_store_kb: Optional[float] = None,
-                 stall_overlap: float = 0.0):
+                 stall_overlap: float = 0.0,
+                 tracer: Optional[Tracer] = None):
         self.lap = lap
         self.tile = tile
         self.library = AlgorithmsByBlocks(tile, nr=lap.config.nr)
@@ -186,10 +197,14 @@ class LAPRuntime:
         if not (0.0 <= stall_overlap <= 1.0):
             raise ValueError("stall_overlap must lie in [0, 1]")
         self.stall_overlap = float(stall_overlap)
+        self.tracer = tracer
         #: Memory hierarchy of the most recent ``execute()`` call (or None);
         #: named distinctly from the ``memory`` enable flag, which is stored
         #: as ``memory_enabled``.
         self.last_memory: Optional[MemoryHierarchy] = None
+        #: Makespan of the most recent ``execute()`` call, in reference
+        #: cycles (what :meth:`attribution` decomposes against).
+        self.last_makespan: float = 0.0
         reference = lap.config.frequency_ghz
         if core_frequencies_ghz is None:
             frequencies = [reference] * len(lap.cores)
@@ -446,6 +461,8 @@ class LAPRuntime:
                                            bandwidth_gbs=self.bandwidth_gbs,
                                            local_store_kb=self.local_store_kb)
                   if self.memory_enabled else None)
+        tracer = (self.tracer if self.tracer is not None and self.tracer.enabled
+                  else None)
         self.last_memory = memory
         self.policy.prepare(tasks if isinstance(tasks, TaskGraph) else task_list)
         self.policy.bind_memory(memory)
@@ -500,6 +517,7 @@ class LAPRuntime:
             compute_duration = duration
             stall = 0.0
             refill = energy = local_cycles = local_hit = 0.0
+            event = None
             if memory is not None:
                 event = memory.account(task, core_index)
                 stall = event.stall_cycles
@@ -526,6 +544,25 @@ class LAPRuntime:
                                                  energy_j=energy,
                                                  local_transfer_cycles=local_cycles,
                                                  local_hit_bytes=local_hit))
+            if tracer is not None:
+                decomposition = decompose_task_cycles(
+                    compute_duration, stall, self.stall_overlap, local_cycles)
+                args = {
+                    "task_id": task.task_id,
+                    "kind": task.kind.value,
+                    "compute_cycles": decomposition["compute"],
+                    "spill_stall_cycles": decomposition["spill_stall"],
+                    "transfer_cycles": decomposition["transfer"],
+                    "hidden_cycles": decomposition["hidden"],
+                }
+                if event is not None:
+                    args.update(event.as_args())
+                    tracer.counter("offchip_spill_bytes").add(
+                        event.spill_refill_bytes, ts=end)
+                    tracer.counter("stall_cycles").add(stall, ts=end)
+                tracer.span(f"{task.kind.value}#{task.task_id}",
+                            track=core_index, start=start, end=end,
+                            category="task", args=args)
             for succ_id in successors[task.task_id]:
                 ready_time[succ_id] = max(ready_time.get(succ_id, 0), end)
                 indegree[succ_id] -= 1
@@ -540,6 +577,13 @@ class LAPRuntime:
             raise RuntimeError("task graph deadlock: circular dependencies")
 
         makespan = max(core_free_at) if core_free_at else 0
+        self.last_makespan = float(makespan)
+        if tracer is not None:
+            for core, gap_start, gap_end in idle_gaps(self.executions,
+                                                      num_cores, makespan):
+                tracer.span("idle", track=core, start=gap_start, end=gap_end,
+                            category="idle",
+                            args={"idle_cycles": gap_end - gap_start})
         stats: Dict[str, object] = {
             "makespan_cycles": makespan,
             "per_core_busy_cycles": busy_cycles,
@@ -557,6 +601,19 @@ class LAPRuntime:
         if isinstance(tasks, TaskGraph):
             stats["graph"] = tasks.summary()
         return stats
+
+    def attribution(self) -> CycleAttribution:
+        """Cycle attribution of the most recent ``execute()`` call.
+
+        Decomposes every core's ``[0, makespan]`` timeline into compute /
+        spill-stall / transfer / idle from the recorded
+        :class:`TaskExecution` rows; the components sum to
+        ``cores x makespan`` (see
+        :class:`repro.obs.attribution.CycleAttribution`).
+        """
+        return CycleAttribution.from_executions(
+            self.executions, len(self.lap.cores), self.last_makespan,
+            stall_overlap=self.stall_overlap)
 
     # ------------------------------------------------------- whole problems
     def run_blocked_gemm(self, n: int, rng: np.random.Generator,

@@ -64,6 +64,34 @@ def compose_task_cycles(compute_cycles: float, stall_cycles: float,
             + (stall_cycles + local_transfer_cycles) * (1.0 - overlap_fraction))
 
 
+def decompose_task_cycles(compute_cycles: float, stall_cycles: float,
+                          overlap_fraction: float = 0.0,
+                          local_transfer_cycles: float = 0.0) -> Dict[str, float]:
+    """Split one task's duration into its attributable cycle components.
+
+    The exact inverse view of :func:`compose_task_cycles`: the returned
+    ``compute`` / ``spill_stall`` / ``transfer`` components sum to the
+    composed duration (``spill_stall`` and ``transfer`` are the *visible*
+    parts after ``overlap_fraction`` hides their complement under compute),
+    and ``hidden`` reports the movement cycles prefetching absorbed.  The
+    observability layer attaches this dictionary to every task span so
+    traces and :class:`repro.obs.attribution.CycleAttribution` agree by
+    construction.
+    """
+    visible = 1.0 - overlap_fraction
+    spill_stall = stall_cycles * visible
+    transfer = local_transfer_cycles * visible
+    total = compose_task_cycles(compute_cycles, stall_cycles,
+                                overlap_fraction, local_transfer_cycles)
+    return {
+        "compute": compute_cycles,
+        "spill_stall": spill_stall,
+        "transfer": transfer,
+        "hidden": (stall_cycles + local_transfer_cycles) - spill_stall - transfer,
+        "total": total,
+    }
+
+
 class TimingModel:
     """Base timing model: how a scheduled task obtains its cycle count.
 

@@ -1,0 +1,92 @@
+"""Run manifests: persistent telemetry of one sweep-engine run.
+
+The :class:`repro.engine.executor.SweepExecutor` measures where a sweep's
+wall time went -- per-shard wall times, per-job latency, cache hits and
+misses -- but a :class:`~repro.engine.executor.SweepResult` dies with the
+process.  A *run manifest* is that telemetry as a structured JSON document
+written next to the sweep's output, so ``repro report`` (or any later
+analysis) can answer "which shard was slow, what fraction of the design
+space was deduplicated by the cache" long after the run.
+
+The schema is deliberately flat and stable::
+
+    {
+      "schema": "repro.obs.run_manifest/v1",
+      "runner": "lap_runtime",
+      "jobs": 12, "executed": 4, "cached": 8,
+      "mode": "process", "elapsed_s": 1.23,
+      "cache": {"hits": 8, "misses": 4, "hit_rate": 0.667, ...},
+      "shards": [{"shard": 0, "runner": ..., "jobs": 3, "elapsed_s": ...}],
+      "job_latency_s": [...],          # aligned with the job list; cached
+      "job_params": [...],             # hits carry null latency
+      "latency": {"count", "total_s", "mean_s", "max_s"}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+__all__ = ["MANIFEST_SCHEMA", "build_run_manifest", "manifest_path_for",
+           "write_run_manifest"]
+
+#: Schema identifier stamped into every manifest (bump on layout changes).
+MANIFEST_SCHEMA = "repro.obs.run_manifest/v1"
+
+
+def _latency_summary(latencies: List[Optional[float]]) -> Dict[str, float]:
+    measured = [lat for lat in latencies if lat is not None]
+    if not measured:
+        return {"count": 0, "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0}
+    total = float(sum(measured))
+    return {"count": len(measured), "total_s": total,
+            "mean_s": total / len(measured), "max_s": float(max(measured))}
+
+
+def build_run_manifest(result, runner: Optional[str] = None,
+                       extra: Optional[Dict[str, object]] = None) -> dict:
+    """Build the manifest document of one executed sweep.
+
+    ``result`` is a :class:`~repro.engine.executor.SweepResult`; ``runner``
+    defaults to the (single) runner of its jobs; ``extra`` merges
+    caller-side context (output path, CLI arguments) into the document.
+    """
+    runners = sorted({job.runner for job in result.jobs})
+    manifest: Dict[str, object] = {
+        "schema": MANIFEST_SCHEMA,
+        "runner": runner if runner is not None else (
+            runners[0] if len(runners) == 1 else ",".join(runners)),
+        "jobs": result.total,
+        "executed": result.executed,
+        "cached": result.cached,
+        "mode": result.mode,
+        "elapsed_s": result.elapsed_s,
+        "cache": result.cache_stats,
+        "shards": list(result.shard_timings),
+        "job_latency_s": list(result.job_latency_s),
+        "job_params": [job.params_dict for job in result.jobs],
+        "latency": _latency_summary(result.job_latency_s),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def manifest_path_for(output_path) -> pathlib.Path:
+    """Manifest path next to a sweep output: ``<output>.manifest.json``."""
+    path = pathlib.Path(output_path)
+    return path.with_name(path.name + ".manifest.json")
+
+
+def write_run_manifest(result, path, runner: Optional[str] = None,
+                       extra: Optional[Dict[str, object]] = None) -> pathlib.Path:
+    """Build and write the manifest of a sweep run; returns the path."""
+    manifest = build_run_manifest(result, runner=runner, extra=extra)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(manifest, handle, indent=1, sort_keys=True, default=str)
+        handle.write("\n")
+    return path

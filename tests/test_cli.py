@@ -381,3 +381,104 @@ def test_cache_stats_missing_directory_does_not_create_it(tmp_path, capsys):
     assert payload["cache"] == {"directory": str(target), "exists": False,
                                 "entries": 0, "size_bytes": 0}
     assert not target.exists()
+
+
+# --------------------------------------------------------- trace / report
+def _trace(tmp_path, capsys, *extra):
+    out = str(tmp_path / "t.trace.json")
+    assert main(["trace", "--workload", "cholesky", "--n", "64",
+                 "--tile", "16", "--cores", "2", "--out", out, *extra]) == 0
+    return out, capsys.readouterr().out
+
+
+def test_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    from repro.obs import validate_chrome_trace
+
+    out, printed = _trace(tmp_path, capsys)
+    assert "makespan" in printed and "TOTAL" in printed
+    assert "compute%" in printed and "idle%" in printed
+    with open(out) as handle:
+        payload = json.load(handle)
+    events = validate_chrome_trace(payload)
+    tasks = [e for e in events if e.get("cat") == "task"]
+    assert tasks and {e["tid"] for e in tasks} == {0, 1}
+    assert all("compute_cycles" in e["args"] for e in tasks)
+    meta = payload["metadata"]
+    assert meta["time_unit"] == "cycles"
+    assert meta["workload"]["workload"] == "cholesky"
+    attribution = meta["cycle_attribution"]
+    assert attribution["num_cores"] == 2
+    assert sum(attribution["totals"].values()) == pytest.approx(
+        attribution["total_cycles"], rel=1e-6)
+
+
+def test_trace_with_memory_pressure_reports_stalls(tmp_path, capsys):
+    out, printed = _trace(tmp_path, capsys, "--on-chip-kb", "8",
+                          "--bandwidth-gbs", "8", "--local-store-kb", "2",
+                          "--stall-overlap", "0.5")
+    with open(out) as handle:
+        totals = json.load(handle)["metadata"]["cycle_attribution"]["totals"]
+    assert totals["spill_stall"] > 0 and totals["transfer"] > 0
+
+
+def test_trace_rejects_bad_geometry(tmp_path, capsys):
+    assert main(["trace", "--workload", "cholesky", "--n", "60",
+                 "--tile", "16", "--out", str(tmp_path / "x.json")]) == 2
+    assert "trace failed" in capsys.readouterr().err
+
+
+def test_report_from_trace(tmp_path, capsys):
+    out, _ = _trace(tmp_path, capsys)
+    assert main(["report", "--trace", out]) == 0
+    printed = capsys.readouterr().out
+    assert "cycle attribution" in printed and "TOTAL" in printed
+    assert "workload=cholesky" in printed
+
+
+def test_report_from_manifest_and_json(tmp_path, capsys):
+    rows = str(tmp_path / "rows.json")
+    assert main(["sweep", "--runner", "design", "--grid", "cores=4,8",
+                 "--cache-dir", str(tmp_path / "cache"), "--json", rows]) == 0
+    capsys.readouterr()
+    manifest = rows + ".manifest.json"
+    assert os.path.exists(manifest)
+    assert main(["report", "--manifest", manifest]) == 0
+    printed = capsys.readouterr().out
+    assert "sweep telemetry [design]" in printed
+    assert "2 jobs" in printed and "hit rate" in printed
+    assert main(["report", "--trace", _trace(tmp_path, capsys)[0],
+                 "--manifest", manifest, "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["manifest"]["schema"] == "repro.obs.run_manifest/v1"
+    assert payload["trace"]["cycle_attribution"]["num_cores"] == 2
+
+
+def test_sweep_explicit_manifest_path(tmp_path, capsys):
+    target = str(tmp_path / "custom.manifest.json")
+    assert main(["sweep", "--runner", "design", "--grid", "cores=4,8",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--manifest", target, "--json", os.devnull]) == 0
+    capsys.readouterr()
+    with open(target) as handle:
+        manifest = json.load(handle)
+    assert manifest["jobs"] == 2 and manifest["runner"] == "design"
+
+
+def test_report_requires_an_input(capsys):
+    assert main(["report"]) == 2
+    assert "nothing to report" in capsys.readouterr().err
+
+
+def test_report_missing_trace_fails_cleanly(tmp_path, capsys):
+    assert main(["report", "--trace", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read attribution" in capsys.readouterr().err
+
+
+def test_cache_stats_reports_lifetime_counters(tmp_path, capsys):
+    cache_dir = _seed_cache(tmp_path, capsys)
+    _seed_cache(tmp_path, capsys)  # warm second run: all hits
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "hits          : 4 (lifetime)" in out
+    assert "misses        : 4 (lifetime)" in out
+    assert "hit_rate      : 50.0% (lifetime)" in out

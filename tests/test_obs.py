@@ -1,0 +1,350 @@
+"""Tests for the observability layer: tracer, Chrome export, attribution,
+run manifests and their runtime/engine integration."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import SweepExecutor
+from repro.engine.spec import SweepSpec
+from repro.lap.chip import LAPConfig, LinearAlgebraProcessor
+from repro.lap.runtime import LAPRuntime
+from repro.lap.timing import compose_task_cycles, decompose_task_cycles
+from repro.obs import (NULL_TRACER, CycleAttribution, Span, Tracer, idle_gaps,
+                       lac_trace_events, to_chrome_trace, tracer_events,
+                       validate_chrome_trace, write_chrome_trace)
+from repro.obs.manifest import (MANIFEST_SCHEMA, build_run_manifest,
+                                manifest_path_for, write_run_manifest)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def make_runtime(num_cores=2, tracer=None, **kwargs):
+    lap = LinearAlgebraProcessor(LAPConfig(num_cores=num_cores, nr=4,
+                                           onchip_memory_mbytes=1.0))
+    kwargs.setdefault("timing", "memoized")
+    return LAPRuntime(lap, 16, tracer=tracer, **kwargs)
+
+
+# --------------------------------------------------------------- tracer
+def test_tracer_records_spans_and_counters():
+    tracer = Tracer()
+    span = tracer.span("GEMM#0", track=1, start=10.0, end=26.0,
+                       args={"compute_cycles": 16.0})
+    assert span.duration == 16.0
+    tracer.counter("bytes").add(64, ts=26.0)
+    tracer.counter("bytes").add(36, ts=30.0)
+    assert tracer.counter("bytes").value == 100.0
+    assert tracer.counter("bytes").series == [(26.0, 64.0), (30.0, 100.0)]
+    assert [s.name for s in tracer.spans] == ["GEMM#0"]
+
+
+def test_disabled_tracer_is_a_noop():
+    tracer = Tracer(enabled=False)
+    assert tracer.span("x", track=0, start=0, end=1) is None
+    tracer.counter("bytes").add(100, ts=1.0)
+    assert tracer.spans == [] and tracer.counters == {}
+    # NULL_TRACER is the shared disabled instance.
+    assert NULL_TRACER.enabled is False
+    NULL_TRACER.counter("y").add(5)
+    assert NULL_TRACER.counters == {}
+
+
+def test_span_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        Span(name="bad", track=0, start=5.0, end=4.0)
+
+
+def test_spans_by_track_groups_and_sorts():
+    tracer = Tracer()
+    tracer.span("b", track=0, start=5, end=6)
+    tracer.span("a", track=0, start=1, end=2)
+    tracer.span("c", track=3, start=0, end=1)
+    grouped = tracer.spans_by_track()
+    assert sorted(grouped) == [0, 3]
+    assert [s.name for s in grouped[0]] == ["a", "b"]
+    tracer.clear()
+    assert tracer.spans == [] and tracer.enabled
+
+
+# --------------------------------------------------- cycle decomposition
+def test_decompose_inverts_compose():
+    for overlap in (0.0, 0.25, 1.0):
+        parts = decompose_task_cycles(100.0, 40.0, overlap,
+                                      local_transfer_cycles=10.0)
+        total = compose_task_cycles(100.0, 40.0, overlap,
+                                    local_transfer_cycles=10.0)
+        assert parts["total"] == total
+        assert (parts["compute"] + parts["spill_stall"] + parts["transfer"]
+                == pytest.approx(total))
+        assert parts["hidden"] == pytest.approx(50.0 * overlap)
+
+
+# ----------------------------------------------------------- attribution
+def test_idle_gaps_complement_executions():
+    class E:
+        def __init__(self, core, start, end):
+            self.core_index, self.start_cycle, self.end_cycle = core, start, end
+
+    gaps = idle_gaps([E(0, 2.0, 5.0), E(0, 7.0, 9.0), E(1, 0.0, 4.0)],
+                     num_cores=2, makespan=10.0)
+    assert gaps == [(0, 0.0, 2.0), (0, 5.0, 7.0), (0, 9.0, 10.0),
+                    (1, 4.0, 10.0)]
+    # An idle third core is one full-makespan gap.
+    assert idle_gaps([], num_cores=1, makespan=3.0) == [(0, 0.0, 3.0)]
+    with pytest.raises(ValueError):
+        idle_gaps([], num_cores=0, makespan=1.0)
+
+
+@pytest.mark.parametrize("policy", ["greedy", "critical_path", "memory_aware"])
+@pytest.mark.parametrize("local_kb,overlap", [(None, 0.0), (2.0, 0.0),
+                                              (2.0, 0.5), (2.0, 1.0)])
+def test_attribution_conserves_cycles(rng, policy, local_kb, overlap):
+    runtime = make_runtime(num_cores=2, tracer=Tracer(), policy=policy,
+                           on_chip_kb=8.0, bandwidth_gbs=8.0,
+                           local_store_kb=local_kb, stall_overlap=overlap)
+    runtime.run_blocked_cholesky(64, rng, verify=False)
+    attribution = runtime.attribution()
+    attribution.check(rel_tol=1e-6)
+    totals = attribution.totals()
+    assert sum(totals.values()) == pytest.approx(attribution.total_cycles,
+                                                 rel=1e-6)
+    assert attribution.total_cycles == pytest.approx(
+        2 * runtime.last_makespan, rel=1e-12)
+    if local_kb is not None and overlap < 1.0:
+        assert totals["transfer"] > 0
+    if overlap == 1.0:
+        assert totals["spill_stall"] == pytest.approx(0.0)
+        assert totals["transfer"] == pytest.approx(0.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n_tiles=st.integers(min_value=2, max_value=4),
+       cores=st.integers(min_value=1, max_value=3),
+       overlap=st.floats(min_value=0.0, max_value=1.0),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_attribution_conservation_property(n_tiles, cores, overlap, seed):
+    runtime = make_runtime(num_cores=cores, on_chip_kb=6.0, bandwidth_gbs=4.0,
+                           local_store_kb=1.0, stall_overlap=overlap)
+    runtime.run_blocked_gemm(16 * n_tiles, np.random.default_rng(seed),
+                             verify=False)
+    attribution = runtime.attribution()
+    attribution.check(rel_tol=1e-6)
+    assert all(core.idle >= -1e-9 for core in attribution.per_core)
+
+
+def test_attribution_check_rejects_double_booked_core():
+    class E:
+        core_index, start_cycle, end_cycle = 0, 0.0, 6.0
+        stall_cycles = local_transfer_cycles = 0.0
+
+    # Two overlapping 6-cycle tasks on one core of a 10-cycle schedule:
+    # compute (12) + idle (4) != makespan (10).
+    attribution = CycleAttribution.from_executions([E(), E()], 1, 10.0)
+    with pytest.raises(ValueError, match="does not conserve"):
+        attribution.check()
+
+
+def test_attribution_round_trips_through_dict():
+    class E:
+        core_index, start_cycle, end_cycle = 0, 1.0, 5.0
+        stall_cycles, local_transfer_cycles = 2.0, 1.0
+
+    original = CycleAttribution.from_executions([E()], 2, 6.0,
+                                                stall_overlap=0.5)
+    original.check()
+    rebuilt = CycleAttribution.from_dict(original.as_dict())
+    assert rebuilt.as_dict() == original.as_dict()
+    rebuilt.check()
+    rows = rebuilt.table_rows()
+    assert rows[-1]["core"] == "TOTAL"
+    assert rows[-1]["compute_pct"] + rows[-1]["stall_pct"] + \
+        rows[-1]["transfer_pct"] + rows[-1]["idle_pct"] == pytest.approx(100.0)
+
+
+# --------------------------------------------------------- chrome export
+def test_tracer_events_one_track_per_core(rng):
+    tracer = Tracer()
+    runtime = make_runtime(num_cores=2, tracer=tracer)
+    runtime.run_blocked_cholesky(48, rng, verify=False)
+    events = tracer_events(tracer, process_name="LAP test")
+    thread_names = [e for e in events if e["name"] == "thread_name"]
+    assert {e["tid"] for e in thread_names} == {0, 1}
+    tasks = [e for e in events if e.get("cat") == "task"]
+    assert tasks and {e["tid"] for e in tasks} == {0, 1}
+    for event in tasks:
+        for key in ("compute_cycles", "spill_stall_cycles",
+                    "transfer_cycles", "task_id", "kind"):
+            assert key in event["args"]
+
+
+def test_runtime_trace_validates_and_covers_makespan(rng):
+    tracer = Tracer()
+    runtime = make_runtime(num_cores=2, tracer=tracer, on_chip_kb=8.0,
+                           bandwidth_gbs=8.0)
+    stats = runtime.run_blocked_lu(48, rng, verify=False)
+    payload = to_chrome_trace(tracer)
+    events = validate_chrome_trace(payload)
+    spans = [e for e in events if e["ph"] == "X"]
+    # task + idle spans tile each core's [0, makespan] exactly.
+    for tid in (0, 1):
+        track = sorted((e["ts"], e["ts"] + e["dur"]) for e in spans
+                       if e["tid"] == tid)
+        assert track[0][0] == 0.0
+        assert track[-1][1] == pytest.approx(stats["makespan_cycles"])
+        for (_, end), (start, _) in zip(track, track[1:]):
+            assert start == pytest.approx(end)
+
+
+def test_validate_rejects_malformed_traces():
+    with pytest.raises(ValueError, match="traceEvents"):
+        validate_chrome_trace({"events": []})
+    with pytest.raises(ValueError, match="missing required key 'pid'"):
+        validate_chrome_trace({"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "dur": 1, "tid": 0}]})
+    with pytest.raises(ValueError, match="missing required key 'dur'"):
+        validate_chrome_trace({"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0}]})
+    with pytest.raises(ValueError, match="invalid ts"):
+        validate_chrome_trace({"traceEvents": [
+            {"name": "x", "ph": "X", "ts": -1, "dur": 1, "pid": 0, "tid": 0}]})
+    with pytest.raises(ValueError, match="overlaps"):
+        validate_chrome_trace({"traceEvents": [
+            {"name": "a", "cat": "task", "ph": "X", "ts": 0, "dur": 5,
+             "pid": 0, "tid": 0},
+            {"name": "b", "cat": "task", "ph": "X", "ts": 3, "dur": 5,
+             "pid": 0, "tid": 0}]})
+    # Nested "phase" spans are exempt from the overlap rule.
+    validate_chrome_trace({"traceEvents": [
+        {"name": "outer", "cat": "phase", "ph": "X", "ts": 0, "dur": 10,
+         "pid": 0, "tid": 0},
+        {"name": "inner", "cat": "phase", "ph": "X", "ts": 2, "dur": 3,
+         "pid": 0, "tid": 0}]})
+
+
+def test_write_chrome_trace_round_trips(tmp_path, rng):
+    tracer = Tracer()
+    runtime = make_runtime(num_cores=2, tracer=tracer)
+    runtime.run_blocked_gemm(32, rng, verify=False)
+    path = write_chrome_trace(to_chrome_trace(tracer, metadata={"n": 32}),
+                              tmp_path / "t.trace.json")
+    with path.open() as handle:
+        loaded = json.load(handle)
+    assert loaded["metadata"]["time_unit"] == "cycles"
+    assert loaded["metadata"]["n"] == 32
+    validate_chrome_trace(loaded)
+
+
+def test_lac_trace_adapter(tmp_path):
+    from repro.lac import LinearAlgebraCore
+    from repro.lac.trace import ExecutionTrace
+
+    core = LinearAlgebraCore()
+    trace = ExecutionTrace(core)
+    with trace.phase("outer"):
+        core.tick(10)
+        with trace.phase("inner"):
+            core.tick(5)
+    events = lac_trace_events(trace)
+    phases = [e for e in events if e.get("cat") == "phase"]
+    assert [e["name"] for e in phases] == ["inner", "outer"]
+    inner = next(e for e in phases if e["name"] == "inner")
+    assert inner["args"]["nesting"] == 1 and inner["dur"] == 5
+    assert "cycles" in inner["args"]
+    # Nested phases export as a valid (overlap-exempt) Chrome trace.
+    payload = to_chrome_trace(events, time_unit="lac-cycles")
+    write_chrome_trace(payload, tmp_path / "lac.trace.json")
+
+
+# ------------------------------------------------- runtime no-op parity
+def test_untraced_run_matches_traced_schedule(rng):
+    seeds = np.random.default_rng(3).integers(0, 2 ** 16, 2)
+    baseline = make_runtime(num_cores=2, on_chip_kb=8.0, bandwidth_gbs=8.0)
+    stats_a = baseline.run_blocked_cholesky(
+        64, np.random.default_rng(int(seeds[0])), verify=False)
+    traced = make_runtime(num_cores=2, tracer=Tracer(), on_chip_kb=8.0,
+                          bandwidth_gbs=8.0)
+    stats_b = traced.run_blocked_cholesky(
+        64, np.random.default_rng(int(seeds[0])), verify=False)
+    assert stats_a == stats_b
+    assert ([(e.core_index, e.start_cycle, e.end_cycle)
+             for e in baseline.executions]
+            == [(e.core_index, e.start_cycle, e.end_cycle)
+                for e in traced.executions])
+    # A disabled tracer is also schedule-identical and records nothing.
+    disabled = make_runtime(num_cores=2, tracer=Tracer(enabled=False),
+                            on_chip_kb=8.0, bandwidth_gbs=8.0)
+    stats_c = disabled.run_blocked_cholesky(
+        64, np.random.default_rng(int(seeds[0])), verify=False)
+    assert stats_c == stats_a
+    assert disabled.tracer.spans == []
+
+
+# ------------------------------------------------------------- manifests
+def _run_sweep(tmp_path, cache=True):
+    spec = (SweepSpec().constants(algorithm="cholesky", n=32, tile=16,
+                                  timing="memoized")
+            .grid(num_cores=[1, 2]))
+    jobs = spec.jobs("lap_runtime")
+    result_cache = ResultCache(tmp_path / "cache") if cache else None
+    executor = SweepExecutor(mode="serial", cache=result_cache)
+    return executor.run(jobs), result_cache
+
+
+def test_sweep_result_carries_telemetry(tmp_path):
+    result, _ = _run_sweep(tmp_path)
+    assert len(result.job_latency_s) == 2
+    assert all(lat is not None and lat > 0 for lat in result.job_latency_s)
+    assert result.shard_timings
+    assert sum(s["jobs"] for s in result.shard_timings) == 2
+    for shard in result.shard_timings:
+        assert shard["runner"] == "lap_runtime"
+        assert shard["elapsed_s"] >= 0
+    assert result.cache_stats["misses"] == 2
+    assert "cache: 0 hits, 2 misses" in result.summary()
+
+
+def test_warm_sweep_reports_hits_and_null_latency(tmp_path):
+    _run_sweep(tmp_path)
+    result, cache = _run_sweep(tmp_path)
+    assert result.cached == 2 and result.executed == 0
+    assert result.job_latency_s == [None, None]
+    assert result.cache_stats["hits"] == 2
+    assert result.cache_stats["hit_rate"] == pytest.approx(1.0)
+    assert "100.0% hit rate" in result.summary()
+    # Lifetime counters were persisted across both executor runs.
+    lifetime = ResultCache(tmp_path / "cache").lifetime_stats()
+    assert lifetime["hits"] == 2 and lifetime["misses"] == 2
+    assert lifetime["hit_rate"] == pytest.approx(0.5)
+
+
+def test_run_manifest_content_and_write(tmp_path):
+    result, _ = _run_sweep(tmp_path)
+    manifest = build_run_manifest(result, extra={"output": "rows.json"})
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert manifest["runner"] == "lap_runtime"
+    assert manifest["jobs"] == 2 and manifest["executed"] == 2
+    assert manifest["latency"]["count"] == 2
+    assert manifest["latency"]["max_s"] >= manifest["latency"]["mean_s"]
+    assert manifest["job_params"][0]["algorithm"] == "cholesky"
+    assert manifest["output"] == "rows.json"
+
+    target = manifest_path_for(tmp_path / "rows.json")
+    assert target.name == "rows.json.manifest.json"
+    written = write_run_manifest(result, target)
+    with written.open() as handle:
+        assert json.load(handle)["schema"] == MANIFEST_SCHEMA
+
+
+def test_uncached_manifest_has_null_cache(tmp_path):
+    result, _ = _run_sweep(tmp_path, cache=False)
+    manifest = build_run_manifest(result)
+    assert manifest["cache"] is None
+    assert "cache:" not in result.summary()
