@@ -381,7 +381,9 @@ class MemoryHierarchy:
                  interface: OffChipInterface, onchip: OnChipMemory,
                  fmac: FMACUnit, frequency_ghz: float,
                  num_cores: int = 1,
-                 local_store_kb: Optional[float] = None):
+                 local_store_kb: Optional[float] = None,
+                 fast: bool = False,
+                 interner=None):
         if tile <= 0 or element_bytes <= 0:
             raise ValueError("tile size and element bytes must be positive")
         if num_cores < 1:
@@ -389,7 +391,20 @@ class MemoryHierarchy:
         self.tile = int(tile)
         self.element_bytes = int(element_bytes)
         tile_bytes = self.tile * self.tile * self.element_bytes
-        self.residency = TileResidency(capacity_bytes, tile_bytes)
+        # ``fast`` swaps both residency levels for the structure-of-arrays
+        # twins of :mod:`repro.lap.fastpath` (byte-identical accounting over
+        # interned tile ids; ``events`` then stays empty).  An ``interner``
+        # shared with the scheduler's graph arrays keeps tile ids consistent
+        # across all levels.
+        self.fast = bool(fast)
+        if fast:
+            from repro.lap.fastpath import (FastLocalStore, FastTileResidency,
+                                            TileInterner)
+            interner = interner if interner is not None else TileInterner()
+            self.residency = FastTileResidency(capacity_bytes, tile_bytes,
+                                               interner)
+        else:
+            self.residency = TileResidency(capacity_bytes, tile_bytes)
         self.bandwidth = BandwidthModel(interface, frequency_ghz)
         self.energy = TaskEnergyModel(fmac, onchip, interface)
         self.num_cores = int(num_cores)
@@ -397,10 +412,16 @@ class MemoryHierarchy:
                                else float(local_store_kb))
         if self.local_store_kb is not None and self.local_store_kb <= 0:
             raise ValueError("local-store capacity must be positive")
-        self.local_stores: Optional[List[LocalStore]] = (
-            None if self.local_store_kb is None
-            else [LocalStore(self.local_store_kb * 1024, tile_bytes)
-                  for _ in range(self.num_cores)])
+        if self.local_store_kb is None:
+            self.local_stores: Optional[List[LocalStore]] = None
+        elif fast:
+            self.local_stores = [
+                FastLocalStore(self.local_store_kb * 1024, tile_bytes, interner)
+                for _ in range(self.num_cores)]
+        else:
+            self.local_stores = [
+                LocalStore(self.local_store_kb * 1024, tile_bytes)
+                for _ in range(self.num_cores)]
         #: Bytes/cycle of shared-to-local (and core-to-core) transfers: the
         #: peak bandwidth of the shared on-chip SRAM.
         self.onchip_bw_bytes_per_cycle = float(onchip.peak_bandwidth_bytes_per_cycle)
@@ -422,7 +443,9 @@ class MemoryHierarchy:
     def for_chip(cls, lap, tile: int,
                  on_chip_kb: Optional[float] = None,
                  bandwidth_gbs: Optional[float] = None,
-                 local_store_kb: Optional[float] = None) -> "MemoryHierarchy":
+                 local_store_kb: Optional[float] = None,
+                 fast: bool = False,
+                 interner=None) -> "MemoryHierarchy":
         """Build the hierarchy of one chip, with optional capacity/BW overrides.
 
         ``on_chip_kb`` shrinks (or grows) the residency capacity relative to
@@ -444,7 +467,8 @@ class MemoryHierarchy:
                    element_bytes=cfg.element_bytes, interface=interface,
                    onchip=lap.onchip_memory, fmac=fmac,
                    frequency_ghz=cfg.frequency_ghz,
-                   num_cores=len(lap.cores), local_store_kb=local_store_kb)
+                   num_cores=len(lap.cores), local_store_kb=local_store_kb,
+                   fast=fast, interner=interner)
 
     # ------------------------------------------------------------ accounting
     @property

@@ -118,6 +118,11 @@ class CriticalPathPriority(SchedulerPolicy):
             graph = TaskGraph(list(graph))
         self._rank = graph.critical_path_lengths()
 
+    @property
+    def ranks(self) -> Dict[int, float]:
+        """Critical-path rank per task id (filled by :meth:`prepare`)."""
+        return self._rank
+
     def priority(self, task: TaskDescriptor, ready_time: float) -> Tuple:
         # Longest chain first; among equal ranks fall back to greedy order.
         return (-self._rank.get(task.task_id, 0.0), ready_time)

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +52,7 @@ from repro.kernels.qr import lac_apply_reflectors
 from repro.kernels.syrk import lac_syrk
 from repro.kernels.trsm import lac_trsm
 from repro.lap.chip import LinearAlgebraProcessor
+from repro.lap.fastpath import _POLICY_CODES, ScheduleTrace, execute_fast
 from repro.lap.memory import MemoryHierarchy
 from repro.lap.policies import SchedulerPolicy, get_policy
 from repro.lap.taskgraph import (AlgorithmsByBlocks, TaskDescriptor, TaskGraph,
@@ -78,7 +79,11 @@ class TaskExecution:
     Times are in cycles of the reference clock (the chip frequency); with
     homogeneous cores and no bandwidth stalls they are exact integers.
     ``stall_cycles`` / ``refill_bytes`` / ``energy_j`` carry the task's
-    data-movement accounting when the memory hierarchy is enabled.
+    data-movement accounting when the memory hierarchy is enabled;
+    ``compute_cycles`` is the pre-movement duration (what the cycle
+    decomposition attributes to compute), ``spill_bytes`` the capacity-miss
+    part of ``refill_bytes`` and ``transfer_bytes`` the shared-to-local plus
+    core-to-core movement of the two-level hierarchy.
     """
 
     task_id: int
@@ -91,6 +96,9 @@ class TaskExecution:
     energy_j: float = 0.0
     local_transfer_cycles: float = 0.0
     local_hit_bytes: float = 0.0
+    compute_cycles: float = 0.0
+    spill_bytes: float = 0.0
+    transfer_bytes: float = 0.0
 
     @property
     def cycles(self) -> float:
@@ -172,6 +180,14 @@ class LAPRuntime:
         ``idle`` spans, and spill/stall counters accumulate timestamped
         series.  ``None`` (default) and a disabled tracer record nothing
         and leave schedules byte-identical to an uninstrumented run.
+    fast:
+        Route eligible ``execute()`` calls through the inlined scheduler
+        loop of :mod:`repro.lap.fastpath` (byte-identical schedules, stats
+        and attribution; see the equivalence suite).  Eligible means: the
+        tasks are a :class:`TaskGraph`, the policy is one of the five stock
+        policy classes (not a subclass) and no enabled tracer is attached;
+        anything else silently takes the reference loop, and ``last_fast``
+        reports which path the most recent call took.
     """
 
     def __init__(self, lap: LinearAlgebraProcessor, tile: int,
@@ -183,7 +199,8 @@ class LAPRuntime:
                  bandwidth_gbs: Optional[float] = None,
                  local_store_kb: Optional[float] = None,
                  stall_overlap: float = 0.0,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 fast: bool = False):
         self.lap = lap
         self.tile = tile
         self.library = AlgorithmsByBlocks(tile, nr=lap.config.nr)
@@ -198,6 +215,9 @@ class LAPRuntime:
             raise ValueError("stall_overlap must lie in [0, 1]")
         self.stall_overlap = float(stall_overlap)
         self.tracer = tracer
+        self.fast = bool(fast)
+        #: Whether the most recent ``execute()`` took the fast path.
+        self.last_fast = False
         #: Memory hierarchy of the most recent ``execute()`` call (or None);
         #: named distinctly from the ``memory`` enable flag, which is stored
         #: as ``memory_enabled``.
@@ -217,7 +237,33 @@ class LAPRuntime:
                 raise ValueError("core frequencies must be positive")
         self.core_frequencies_ghz = frequencies
         self._homogeneous = all(f == reference for f in frequencies)
-        self.executions: List[TaskExecution] = []
+        self._executions: Optional[List[TaskExecution]] = []
+        self._exec_rows: Optional[List[Tuple]] = None
+        self._exec_build: Optional[Callable[[], List[TaskExecution]]] = None
+
+    @property
+    def executions(self) -> List[TaskExecution]:
+        """Per-task records of the most recent ``execute()`` call.
+
+        The fast path records plain field tuples during the loop and this
+        property materialises the :class:`TaskExecution` rows on first
+        access, so a schedule that is only reduced to stats never pays for
+        a million dataclass constructions.
+        """
+        if self._executions is None:
+            build = self._exec_build
+            if build is not None:
+                self._executions = build()
+            else:
+                self._executions = [TaskExecution(*row)
+                                    for row in self._exec_rows]
+        return self._executions
+
+    @executions.setter
+    def executions(self, value: List[TaskExecution]) -> None:
+        self._executions = value
+        self._exec_rows = None
+        self._exec_build = None
 
     # ------------------------------------------------------------ execution
     def _run_task(self, task: TaskDescriptor, core_index: int, tiles: Dict) -> int:
@@ -438,7 +484,17 @@ class LAPRuntime:
         executions, so those policies are worst-case O(V^2 log V) (in
         practice close to the static bound, since only entries that reach
         the heap top are refreshed).
+
+        With ``fast=True`` an eligible call (a :class:`TaskGraph`, a stock
+        policy class, no enabled tracer) is routed through the inlined loop
+        of :mod:`repro.lap.fastpath`, which produces byte-identical results.
         """
+        if (self.fast and isinstance(tasks, TaskGraph)
+                and (self.tracer is None or not self.tracer.enabled)
+                and type(self.policy) in _POLICY_CODES):
+            self.last_fast = True
+            return execute_fast(self, tasks, tiles, verify)
+        self.last_fast = False
         task_list = list(tasks)
         by_id: Dict[int, TaskDescriptor] = {}
         for task in task_list:
@@ -478,7 +534,7 @@ class LAPRuntime:
         self.policy.bind_owners(tile_owner)
         ready_time: Dict[int, float] = {}
         end_time: Dict[int, float] = {}
-        self.executions = []
+        self.executions = executions = []
 
         # Heap entries are (priority_tuple, task_id, residency_version): the
         # policy key orders tasks, the task id breaks ties exactly as the
@@ -517,6 +573,7 @@ class LAPRuntime:
             compute_duration = duration
             stall = 0.0
             refill = energy = local_cycles = local_hit = 0.0
+            spill_b = transfer_b = 0.0
             event = None
             if memory is not None:
                 event = memory.account(task, core_index)
@@ -525,6 +582,8 @@ class LAPRuntime:
                 energy = event.energy_j
                 local_cycles = event.local_transfer_cycles
                 local_hit = event.local_hit_bytes
+                spill_b = event.spill_refill_bytes
+                transfer_b = event.shared_to_local_bytes + event.c2c_bytes
                 duration = compose_task_cycles(duration, stall,
                                                self.stall_overlap,
                                                local_cycles)
@@ -538,12 +597,15 @@ class LAPRuntime:
             busy_time[core_index] += compute_duration
             end_time[task.task_id] = end
             tile_owner[task.output] = core_index
-            self.executions.append(TaskExecution(task.task_id, task.kind, core_index,
-                                                 start, end, stall_cycles=stall,
-                                                 refill_bytes=refill,
-                                                 energy_j=energy,
-                                                 local_transfer_cycles=local_cycles,
-                                                 local_hit_bytes=local_hit))
+            executions.append(TaskExecution(task.task_id, task.kind, core_index,
+                                            start, end, stall_cycles=stall,
+                                            refill_bytes=refill,
+                                            energy_j=energy,
+                                            local_transfer_cycles=local_cycles,
+                                            local_hit_bytes=local_hit,
+                                            compute_cycles=compute_duration,
+                                            spill_bytes=spill_b,
+                                            transfer_bytes=transfer_b))
             if tracer is not None:
                 decomposition = decompose_task_cycles(
                     compute_duration, stall, self.stall_overlap, local_cycles)
@@ -573,7 +635,7 @@ class LAPRuntime:
                         succ_id,
                         memory.version if memory is not None else 0))
 
-        if len(self.executions) != len(task_list):
+        if len(executions) != len(task_list):
             raise RuntimeError("task graph deadlock: circular dependencies")
 
         makespan = max(core_free_at) if core_free_at else 0
@@ -614,6 +676,35 @@ class LAPRuntime:
         return CycleAttribution.from_executions(
             self.executions, len(self.lap.cores), self.last_makespan,
             stall_overlap=self.stall_overlap)
+
+    def schedule_trace(self) -> ScheduleTrace:
+        """Replayable record of the most recent ``execute()`` call.
+
+        Captures the dispatch outcome plus the movement totals that decide
+        when a sweep point differing only in bandwidth / prefetch-overlap
+        constants can reuse this schedule exactly instead of re-simulating
+        (see :class:`repro.lap.fastpath.ScheduleTrace` and the
+        ``lap_runtime`` runner's replay fast path).
+        """
+        memory = self.last_memory
+        rows = self.executions
+        return ScheduleTrace(
+            policy=self.policy.name,
+            timing=self.timing.name,
+            stall_overlap=self.stall_overlap,
+            effective_bandwidth_gbs=(
+                memory.bandwidth.interface.bandwidth_gbytes_per_sec
+                if memory is not None else None),
+            default_bandwidth_gbs=self.lap.offchip.bandwidth_gbytes_per_sec,
+            total_spill_bytes=(memory.spill_bytes if memory is not None
+                               else 0.0),
+            total_movement_cycles=(
+                memory.total_stall_cycles + memory.local_transfer_cycles
+                if memory is not None else 0.0),
+            task_ids=[e.task_id for e in rows],
+            cores=[e.core_index for e in rows],
+            starts=[e.start_cycle for e in rows],
+            ends=[e.end_cycle for e in rows])
 
     # ------------------------------------------------------- whole problems
     def run_blocked_gemm(self, n: int, rng: np.random.Generator,

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import collections.abc
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -208,6 +207,8 @@ class TaskGraph(collections.abc.Sequence):
             for dep in set(task.depends_on):
                 self._successors[dep].append(task.task_id)
         self._levels: Optional[List[List[int]]] = None
+        self._fast_arrays = None
+        self._summary: Optional[Dict[str, object]] = None
 
     # -------------------------------------------------------- sequence API
     def __len__(self) -> int:
@@ -298,6 +299,17 @@ class TaskGraph(collections.abc.Sequence):
         lengths = self.critical_path_lengths(weight)
         return max(lengths.values(), default=0.0)
 
+    def fast_arrays(self):
+        """Dense array form of the graph for the fast scheduler loop.
+
+        Built on first use and cached (the graph is immutable); see
+        :class:`repro.lap.fastpath.GraphArrays`.
+        """
+        if self._fast_arrays is None:
+            from repro.lap.fastpath import GraphArrays
+            self._fast_arrays = GraphArrays(self)
+        return self._fast_arrays
+
     def working_set_tiles(self) -> List[TileAccess]:
         """Unique ``(operand, coordinate)`` tiles any task touches."""
         seen: Dict[TileAccess, None] = {}
@@ -317,15 +329,38 @@ class TaskGraph(collections.abc.Sequence):
         return sum(task_flops(task, tile) for task in self._tasks)
 
     def summary(self) -> Dict[str, object]:
-        """Scalar graph metrics (handy for sweep rows and reports)."""
-        return {
-            "num_tasks": len(self._tasks),
-            "num_levels": len(self.levels()),
-            "width": self.width(),
-            "critical_path_tasks": int(self.critical_path_length()),
-            "kind_counts": {k.value: v for k, v in sorted(
-                self.kind_counts().items(), key=lambda kv: kv[0].value)},
-        }
+        """Scalar graph metrics (handy for sweep rows and reports).
+
+        Computed once and cached (the graph is immutable after
+        construction); every call returns a fresh copy so callers may
+        mutate the result freely.
+        """
+        if self._summary is None:
+            self._summary = {
+                "num_tasks": len(self._tasks),
+                "num_levels": len(self.levels()),
+                "width": self.width(),
+                "critical_path_tasks": int(self.critical_path_length()),
+                "kind_counts": {k.value: v for k, v in sorted(
+                    self.kind_counts().items(), key=lambda kv: kv[0].value)},
+            }
+        out = dict(self._summary)
+        out["kind_counts"] = dict(out["kind_counts"])
+        return out
+
+
+#: Process-wide cache of built task graphs (FIFO-bounded).  Large sweeps
+#: re-decompose the same ``(workload, n, tile)`` point for every schedule
+#: variant; the descriptors are identical each time, so the builders reuse
+#: them through :meth:`AlgorithmsByBlocks._cached`.  Kept deliberately small:
+#: a million-task graph holds hundreds of megabytes of descriptors.
+_GRAPH_CACHE: Dict[Tuple, "TaskGraph"] = {}
+GRAPH_CACHE_CAPACITY = 4
+
+
+def clear_graph_cache() -> None:
+    """Drop every cached task graph (frees descriptor memory)."""
+    _GRAPH_CACHE.clear()
 
 
 class AlgorithmsByBlocks:
@@ -347,10 +382,36 @@ class AlgorithmsByBlocks:
                              f"dimension nr={nr}")
         self.tile = tile
         self.nr = nr
-        self._ids = itertools.count()
+        self._id_next = 0
 
     def _next_id(self) -> int:
-        return next(self._ids)
+        i = self._id_next
+        self._id_next = i + 1
+        return i
+
+    def _cached(self, key: Tuple, build) -> "TaskGraph":
+        """Build ``key``'s graph, or reuse a structurally identical one.
+
+        Builders are deterministic in ``(workload, dims, tile, nr)`` plus the
+        instance's next task id, so the full cache key pins the exact graph a
+        fresh build would produce -- including its id range.  On a hit the id
+        counter still advances by ``len(graph)``, keeping the instance's
+        visible id trajectory indistinguishable from an uncached build.
+        Reuse is safe because :class:`TaskGraph` is immutable and consumers
+        attach only derived, shareable state (summary tables, fast-path
+        arrays); sharing those across sweep points is exactly the point --
+        a million-task sweep pays the descriptor build once per process.
+        """
+        full_key = key + (self.tile, self.nr, self._id_next)
+        graph = _GRAPH_CACHE.get(full_key)
+        if graph is None:
+            graph = build()
+            while len(_GRAPH_CACHE) >= GRAPH_CACHE_CAPACITY:
+                _GRAPH_CACHE.pop(next(iter(_GRAPH_CACHE)))
+            _GRAPH_CACHE[full_key] = graph
+        else:
+            self._id_next += len(graph)
+        return graph
 
     def _check_blocking(self, **dims: int) -> None:
         for name, d in dims.items():
@@ -369,8 +430,11 @@ class AlgorithmsByBlocks:
         given C tile is expressed as a chain of dependent GEMM tasks so that
         the accumulator tile is never written concurrently.
         """
-        t = self.tile
         self._check_blocking(m=m, n=n, k=k)
+        return self._cached(("gemm", m, n, k), lambda: self._build_gemm(m, n, k))
+
+    def _build_gemm(self, m: int, n: int, k: int) -> TaskGraph:
+        t = self.tile
         tasks: List[TaskDescriptor] = []
         for bi in range(m // t):
             for bj in range(n // t):
@@ -394,8 +458,11 @@ class AlgorithmsByBlocks:
         The classic dependency pattern: CHOL(j,j) -> TRSM(i,j) for i>j ->
         SYRK/GEMM updates of the trailing tiles.
         """
-        t = self.tile
         self._check_blocking(n=n)
+        return self._cached(("cholesky", n), lambda: self._build_cholesky(n))
+
+    def _build_cholesky(self, n: int) -> TaskGraph:
+        t = self.tile
         nb = n // t
         tasks: List[TaskDescriptor] = []
         # written[(i, j)] is the id of the last task that wrote tile (i, j).
@@ -446,8 +513,11 @@ class AlgorithmsByBlocks:
         to the diagonal tile, so the operand must make pivoting unnecessary
         (e.g. diagonally dominant); the LU tile kernel enforces this.
         """
-        t = self.tile
         self._check_blocking(n=n)
+        return self._cached(("lu", n), lambda: self._build_lu(n))
+
+    def _build_lu(self, n: int) -> TaskGraph:
+        t = self.tile
         nb = n // t
         tasks: List[TaskDescriptor] = []
         written: Dict[Tuple[int, int], int] = {}
@@ -509,8 +579,11 @@ class AlgorithmsByBlocks:
         diagonals with their ``tau`` scalars in the runtime's ``TAU`` side
         store.
         """
-        t = self.tile
         self._check_blocking(n=n)
+        return self._cached(("qr", n), lambda: self._build_qr(n))
+
+    def _build_qr(self, n: int) -> TaskGraph:
+        t = self.tile
         nb = n // t
         tasks: List[TaskDescriptor] = []
         written: Dict[Tuple[int, int], int] = {}

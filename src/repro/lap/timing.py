@@ -143,6 +143,20 @@ class MemoizedTiming(TimingModel):
         self.warm_runs = 0
         self.hits = 0
 
+    def bulk_charge(self, signature: TaskSignature, count: int) -> None:
+        """Charge ``count`` cache hits of one signature in a single call.
+
+        The fast scheduler loop (:mod:`repro.lap.fastpath`) resolves cycle
+        counts through a per-group table instead of calling
+        :meth:`task_cycles` per task; it reconciles the hit/count statistics
+        here so ``hits`` / ``task_counts`` /
+        :meth:`estimated_functional_seconds` match a per-task run exactly.
+        """
+        if count <= 0:
+            return
+        self.task_counts[signature] = self.task_counts.get(signature, 0) + count
+        self.hits += count
+
     @property
     def warm_seconds(self) -> float:
         """Total wall time spent in functional warm-up runs."""

@@ -247,3 +247,91 @@ def test_two_level_runtime_conserves_offchip_traffic_split(data):
     for store in hierarchy.local_stores:
         assert store.resident_bytes <= max(store.capacity_bytes,
                                            store.peak_resident_bytes)
+
+
+# ------------------------------------- SoA fast path vs OrderedDict oracle
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(trace=traces, capacity_tiles=capacities)
+def test_fast_residency_matches_ordereddict_oracle(trace, capacity_tiles):
+    """The clock/stamp SoA residency is observationally identical to the
+    OrderedDict reference on random access streams: per-touch traffic
+    tuples, eviction victims *in order*, membership, version counter,
+    resident/peak bytes, and the final flush."""
+    from repro.lap.fastpath import FastTileResidency
+
+    ref = TileResidency(capacity_bytes=capacity_tiles * TILE_BYTES,
+                        tile_bytes=TILE_BYTES)
+    fast = FastTileResidency(capacity_bytes=capacity_tiles * TILE_BYTES,
+                             tile_bytes=TILE_BYTES)
+    universe = set()
+    for reads, writes in trace:
+        universe.update(reads + writes)
+        assert fast.touch(reads, writes) == ref.touch(reads, writes)
+        assert fast.last_evicted == ref.last_evicted
+        assert fast.resident_bytes == ref.resident_bytes
+        assert fast.peak_resident_bytes == ref.peak_resident_bytes
+        assert fast.version == ref.version
+        for name in universe:
+            assert fast.is_resident(name) == ref.is_resident(name), name
+        probe = sorted(universe)[:6]
+        assert fast.missing_bytes(probe) == ref.missing_bytes(probe)
+    assert fast.flush() == ref.flush()
+    assert fast.last_evicted == ref.last_evicted
+    assert fast.resident_bytes == ref.resident_bytes == 0
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(trace=traces, capacity_tiles=capacities, data=st.data())
+def test_fast_local_store_matches_ordereddict_oracle(trace, capacity_tiles,
+                                                     data):
+    """FastLocalStore mirrors LocalStore under random touch/invalidate
+    interleavings (fill bytes, membership, footprint queries, peak)."""
+    from repro.lap.fastpath import FastLocalStore
+
+    ref = LocalStore(capacity_bytes=capacity_tiles * TILE_BYTES,
+                     tile_bytes=TILE_BYTES)
+    fast = FastLocalStore(capacity_bytes=capacity_tiles * TILE_BYTES,
+                          tile_bytes=TILE_BYTES)
+    universe = set()
+    for reads, writes in trace:
+        accesses = reads + writes
+        universe.update(accesses)
+        assert fast.touch(accesses) == ref.touch(accesses)
+        if universe and data.draw(st.booleans()):
+            victim = data.draw(st.sampled_from(sorted(universe)))
+            ref.invalidate(victim)
+            fast.invalidate(victim)
+        assert fast.resident_bytes == ref.resident_bytes
+        assert fast.peak_resident_bytes == ref.peak_resident_bytes
+        for name in universe:
+            assert fast.is_resident(name) == ref.is_resident(name), name
+        probe = sorted(universe)[:6]
+        assert fast.missing_bytes(probe) == ref.missing_bytes(probe)
+        assert (fast.resident_footprint_bytes(probe)
+                == ref.resident_footprint_bytes(probe))
+
+
+# ------------------------------------------------ schedule-replay costing
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_replayed_rows_equal_resimulated_rows(data):
+    """Any delta point the replay layer serves from a recorded schedule is
+    byte-identical to re-simulating that point from scratch."""
+    from repro.engine.runners import get_runner
+
+    runner = get_runner("lap_runtime")
+    base = {"algorithm": data.draw(st.sampled_from(["cholesky", "lu"])),
+            "n": data.draw(st.sampled_from([24, 32])),
+            "tile": 8, "num_cores": 2, "nr": 4, "seed": 0,
+            "timing": "memoized", "verify": False,
+            "fast": data.draw(st.booleans())}
+    if data.draw(st.booleans()):
+        base["on_chip_kb"] = data.draw(st.sampled_from([4.0, 6.0]))
+    runner(dict(base))  # record (or refresh) the schedule trace
+    delta = dict(base)
+    delta["bandwidth_gbs"] = data.draw(st.sampled_from([8.0, 32.0, 128.0]))
+    if data.draw(st.booleans()):
+        delta["stall_overlap"] = data.draw(st.sampled_from([0.0, 0.5, 1.0]))
+    replayed = runner(dict(delta))
+    resimulated = runner({**delta, "replay": "off"})
+    assert replayed == resimulated
