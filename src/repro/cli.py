@@ -26,7 +26,10 @@ Provides seven sub-commands:
     ``--set bandwidth_gbs=16`` to surface spills, stalls and energy;
     enable the per-core second level with ``--grid local_store_kb=1,2,4``
     and sweep prefetch overlap with ``--grid stall_overlap=0,0.5,1`` for
-    local-hit-rate and per-level traffic columns).
+    local-hit-rate and per-level traffic columns).  ``--stream`` consumes
+    the executor's row stream directly and prints a live progress line
+    (rows done / cache hit-rate / incremental Pareto frontier size)
+    instead of going silent until the sweep finishes.
 ``cache``
     inspect and manage the on-disk sweep result cache
     (``python -m repro.cli cache stats`` / ``... cache prune --max-mb 64``
@@ -55,7 +58,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.arch.lap_design import build_lap
-from repro.engine import (KNOWN_PARAMS, PARETO_OBJECTIVES, SweepSpec,
+from repro.engine import (KNOWN_PARAMS, PARETO_OBJECTIVES, IncrementalPareto,
+                          ResultCache, SweepExecutor, SweepSpec,
                           frontier_report, runner_names, sweep, usable_cache_dir)
 from repro.experiments.export import write_json
 from repro.experiments.registry import REGISTRY, run_experiment
@@ -215,6 +219,39 @@ def _build_spec(args: argparse.Namespace) -> SweepSpec:
     return spec
 
 
+def _stream_sweep(jobs, args: argparse.Namespace, cache_dir: Optional[str],
+                  objectives: List[str]):
+    """Run a sweep through the streaming executor with a live progress line.
+
+    Rows are folded into an :class:`IncrementalPareto` as they land, so the
+    stderr line shows rows done, cache hit-rate and the current frontier
+    size while the sweep is still executing.  Returns the same
+    ``SweepResult`` the batch path produces.
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    executor = SweepExecutor(mode=args.mode, max_workers=args.workers,
+                             batch_size=args.batch_size, cache=cache)
+    pareto = IncrementalPareto(objectives) if objectives else None
+    stream = executor.stream(jobs)
+    done = 0
+    hits = 0
+    try:
+        for event in stream:
+            done += 1
+            if event.cached:
+                hits += 1
+            if pareto is not None:
+                pareto.add(event.row)
+            frontier = "" if pareto is None else f" | frontier {len(pareto)}"
+            print(f"\r{done}/{stream.total} rows | "
+                  f"{100.0 * hits / done:.0f}% cached{frontier}",
+                  end="", file=sys.stderr, flush=True)
+    finally:
+        if done:
+            print(file=sys.stderr)
+    return stream.result()
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if not (args.grid or args.zip or args.set):
         print("the sweep expands to no jobs; add --grid/--zip/--set axes",
@@ -238,21 +275,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   file=sys.stderr)
 
     progress = None
-    if args.progress:
+    if args.progress and not args.stream:
         def progress(done: int, total: int) -> None:
             print(f"\r{done}/{total} jobs", end="", file=sys.stderr, flush=True)
 
+    objectives = ([o.strip() for o in args.objectives.split(",") if o.strip()]
+                  if args.objectives else list(PARETO_OBJECTIVES.get(args.runner, ())))
     cache_dir = usable_cache_dir(None if args.no_cache else args.cache_dir)
     try:
-        result = sweep(jobs, mode=args.mode, max_workers=args.workers,
-                       batch_size=args.batch_size, cache_dir=cache_dir,
-                       progress=progress)
+        if args.stream:
+            result = _stream_sweep(jobs, args, cache_dir, objectives)
+        else:
+            result = sweep(jobs, mode=args.mode, max_workers=args.workers,
+                           batch_size=args.batch_size, cache_dir=cache_dir,
+                           progress=progress)
     except (KeyError, ValueError, OverflowError, OSError) as exc:
-        if args.progress:
+        if args.progress and not args.stream:
             print(file=sys.stderr)
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
-    if args.progress:
+    if args.progress and not args.stream:
         print(file=sys.stderr)
 
     # Persist the run's telemetry (shard wall times, job latencies, cache
@@ -271,8 +313,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"warning: cannot write run manifest to "
                   f"'{manifest_target}': {exc}", file=sys.stderr)
 
-    objectives = ([o.strip() for o in args.objectives.split(",") if o.strip()]
-                  if args.objectives else list(PARETO_OBJECTIVES.get(args.runner, ())))
     try:
         report = (frontier_report(result.rows, objectives) if objectives
                   else {"objectives": [], "minimize": [], "num_rows": len(result.rows),
@@ -350,6 +390,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         for key in ("directory", "code_version", "entries", "size_bytes",
                     "size_mbytes", "max_bytes"):
             print(f"{key:<14s}: {stats[key]}")
+        sidecar = stats["sidecar"]
+        print(f"{'replay':<14s}: {sidecar['entries']} sidecar entries, "
+              f"{sidecar['size_bytes']} bytes")
         lifetime = stats["lifetime"]
         print(f"{'hits':<14s}: {lifetime['hits']} (lifetime)")
         print(f"{'misses':<14s}: {lifetime['misses']} (lifetime)")
@@ -541,6 +584,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 print(f"job latency   : {latency['count']} measured, "
                       f"mean {1e3 * latency['mean_s']:.1f} ms, "
                       f"max {1e3 * latency['max_s']:.1f} ms")
+            streaming = manifest.get("streaming") or {}
+            if streaming.get("first_row_s") is not None:
+                print(f"streaming     : first row "
+                      f"{1e3 * streaming['first_row_s']:.1f} ms, last row "
+                      f"{1e3 * streaming['last_row_s']:.1f} ms")
             shards = manifest.get("shards") or []
             if shards:
                 print()
@@ -604,6 +652,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--max-rows", type=int, default=16)
     p_swp.add_argument("--progress", action="store_true",
                        help="print job progress to stderr")
+    p_swp.add_argument("--stream", action="store_true",
+                       help="consume rows as they land: live stderr line "
+                            "with rows done / cache hit-rate / incremental "
+                            "Pareto frontier size (supersedes --progress)")
     p_swp.add_argument("--json", metavar="PATH",
                        help="write rows + frontier as JSON to PATH ('-' for stdout)")
     p_swp.add_argument("--manifest", metavar="PATH", default=None,

@@ -8,10 +8,11 @@ incremental, parallel runs:
 * :mod:`repro.engine.cache` -- a content-addressed on-disk result cache
   keyed by job parameters plus code version, with an LRU eviction layer
   (``max_bytes`` / ``REPRO_CACHE_MAX_MB`` and an explicit ``prune()``),
-* :mod:`repro.engine.executor` -- a sharded executor fanning jobs out over
-  ``concurrent.futures`` with deterministic result ordering,
-* :mod:`repro.engine.analysis` -- Pareto-frontier extraction and
-  best-per-metric selection over result rows,
+* :mod:`repro.engine.executor` -- a streaming work-stealing executor over
+  ``concurrent.futures``: ``stream()`` yields rows as they land,
+  ``run()`` collects them with deterministic (job-order) result ordering,
+* :mod:`repro.engine.analysis` -- Pareto-frontier extraction (batch and
+  incremental/streaming) and best-per-metric selection over result rows,
 * :mod:`repro.engine.runners` -- adapters exposing the existing design
   evaluation, LAC kernel simulations and experiment registry as runners.
 
@@ -28,12 +29,15 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
-from repro.engine.analysis import (DEFAULT_OBJECTIVES, best_per_metric, dominates,
-                                   frontier_report, pareto_frontier)
-from repro.engine.cache import (CACHE_MAX_MB_ENV, ResultCache, default_code_version,
-                                env_max_bytes, usable_cache_dir)
-from repro.engine.executor import (ProgressCallback, SweepExecutor, SweepResult,
-                                   execute_jobs)
+from repro.engine.analysis import (DEFAULT_OBJECTIVES, IncrementalPareto,
+                                   best_per_metric, dominates, frontier_report,
+                                   pareto_frontier)
+from repro.engine.cache import (CACHE_MAX_MB_ENV, ResultCache, SidecarStore,
+                                default_code_version, env_max_bytes,
+                                usable_cache_dir)
+from repro.engine.executor import (ProgressCallback, StreamRow, SweepExecutor,
+                                   SweepResult, SweepStream, execute_jobs,
+                                   stream_jobs)
 from repro.engine.runners import (HEAVY_RUNNERS, KNOWN_PARAMS, PARETO_OBJECTIVES,
                                   RUNNERS, code_fingerprint, get_runner,
                                   runner_names)
@@ -41,10 +45,12 @@ from repro.engine.spec import Job, Params, SweepSpec, canonical_params, params_k
 
 __all__ = [
     "SweepSpec", "Job", "Params", "canonical_params", "params_key",
-    "ResultCache", "default_code_version", "usable_cache_dir",
+    "ResultCache", "SidecarStore", "default_code_version", "usable_cache_dir",
     "CACHE_MAX_MB_ENV", "env_max_bytes",
-    "SweepExecutor", "SweepResult", "ProgressCallback", "execute_jobs",
+    "SweepExecutor", "SweepResult", "SweepStream", "StreamRow",
+    "ProgressCallback", "execute_jobs", "stream_jobs",
     "pareto_frontier", "best_per_metric", "dominates", "frontier_report",
+    "IncrementalPareto",
     "DEFAULT_OBJECTIVES", "PARETO_OBJECTIVES", "RUNNERS", "HEAVY_RUNNERS",
     "KNOWN_PARAMS",
     "runner_names", "get_runner", "code_fingerprint",

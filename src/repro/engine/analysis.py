@@ -67,6 +67,74 @@ def pareto_frontier(rows: Sequence[Row], objectives: Sequence[str] = DEFAULT_OBJ
     return frontier
 
 
+class IncrementalPareto:
+    """Streaming Pareto frontier: fold rows in one at a time.
+
+    Maintains exactly the frontier :func:`pareto_frontier` would return on
+    the rows seen so far, in arrival order, but costs O(frontier) per row
+    instead of O(n^2) per recomputation -- built for consuming
+    :meth:`repro.engine.executor.SweepExecutor.stream` while the sweep is
+    still running.
+
+    Equality with the batch frontier holds because strict dominance is
+    transitive: a new row is rejected only when some current member
+    dominates it, and if that member is later evicted by a better row, the
+    better row dominates the rejected one too (so it stays correctly
+    rejected); conversely every evicted member is dominated by a row that
+    remains.  Members therefore coincide with the non-dominated subset of
+    everything ever added, and since survivors are appended in arrival
+    order (evictions never reorder), the ordering matches the batch
+    function's input-order traversal.  Rows with equal objective vectors
+    all survive, exactly like the batch frontier.
+    """
+
+    def __init__(self, objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                 minimize: Collection[str] = ()) -> None:
+        if not objectives:
+            raise ValueError("at least one objective is required")
+        self.objectives: Tuple[str, ...] = tuple(objectives)
+        self.minimize = frozenset(minimize)
+        self.seen = 0
+        self._rows: List[Row] = []
+        self._vectors: List[List[float]] = []
+
+    def add(self, row: Row) -> bool:
+        """Fold one row in; returns whether it joined the frontier."""
+        vec = _oriented(row, self.objectives, self.minimize)
+        self.seen += 1
+        for other in self._vectors:
+            if (all(x >= y for x, y in zip(other, vec))
+                    and any(x > y for x, y in zip(other, vec))):
+                return False
+        keep_rows: List[Row] = []
+        keep_vectors: List[List[float]] = []
+        for member, other in zip(self._rows, self._vectors):
+            if (all(x >= y for x, y in zip(vec, other))
+                    and any(x > y for x, y in zip(vec, other))):
+                continue
+            keep_rows.append(member)
+            keep_vectors.append(other)
+        keep_rows.append(row)
+        keep_vectors.append(vec)
+        self._rows = keep_rows
+        self._vectors = keep_vectors
+        return True
+
+    def update(self, rows: Sequence[Row]) -> int:
+        """Fold many rows in; returns how many joined the frontier."""
+        return sum(1 for row in rows if self.add(row))
+
+    def frontier(self) -> List[Row]:
+        """Current frontier members, in arrival order."""
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+
 def best_per_metric(rows: Sequence[Row], metrics: Sequence[str] = DEFAULT_OBJECTIVES,
                     minimize: Collection[str] = ()) -> Dict[str, Row]:
     """The winning row for each metric (first wins ties, so results are

@@ -19,10 +19,12 @@ the ``repro cache`` CLI sub-command exposes stats/clear/prune.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
 import tempfile
+import time
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.engine.spec import Job, params_key
@@ -52,6 +54,133 @@ _LOW_WATER_FRACTION = 0.9
 _STATS_FILENAME = "_stats.json"
 
 _COUNTER_KEYS = ("hits", "misses", "evictions")
+
+#: Lock file taken while merging ``_stats.json`` so concurrent writers (many
+#: streaming sweeps sharing one cache directory) never interleave their
+#: read-modify-write cycles and lose counter deltas.
+_STATS_LOCK_FILENAME = "_stats.lock"
+
+#: How often / how long to retry for the stats lock before giving up (the
+#: stats merge is best-effort; a contended miss only defers the fold to the
+#: next ``persist_stats()`` call).
+_STATS_LOCK_ATTEMPTS = 50
+_STATS_LOCK_SLEEP_S = 0.004
+
+#: A lock file older than this is treated as leaked by a dead process and
+#: broken (the merge itself takes well under a millisecond).
+_STATS_LOCK_STALE_S = 10.0
+
+#: Torn-read retries: a reader that finds ``_stats.json`` half-written
+#: (non-POSIX filesystems without atomic replace) re-reads before zeroing.
+_STATS_READ_ATTEMPTS = 3
+
+#: Subdirectory of the cache root holding the content-addressed replay
+#: sidecar (see :class:`SidecarStore`).  The name is deliberately longer
+#: than the two-character entry fan-out dirs so the ``??/*.json`` entry
+#: glob -- and therefore LRU eviction and ``clear()`` -- never touches it.
+_SIDECAR_DIRNAME = "replay"
+
+
+class SidecarStore:
+    """Content-addressed JSON store for derived artifacts next to a cache.
+
+    Where :class:`ResultCache` stores final result *rows*, the sidecar
+    stores reusable *intermediates* -- today the
+    :class:`~repro.lap.fastpath.ScheduleTrace` replay records that let a
+    warm sweep point skip the scheduler loop entirely.  Keys hash a caller
+    ``kind`` tag, an opaque ``material`` string (e.g. the canonicalised
+    structural key of a schedule) and the cache's ``code_version``, so a
+    version bump invalidates every sidecar record exactly like it
+    invalidates result rows.
+
+    All operations are best-effort: a read-only or corrupt sidecar degrades
+    to misses, never to exceptions, because the artifacts it holds can
+    always be recomputed.  The store is picklable via :meth:`config` /
+    :meth:`from_config` so executors can ship it to worker processes.
+    """
+
+    def __init__(self, directory: PathLike, code_version: str = "") -> None:
+        self.directory = pathlib.Path(directory).expanduser()
+        self.code_version = code_version
+
+    @classmethod
+    def from_config(cls, config: Mapping) -> "SidecarStore":
+        return cls(directory=config["directory"],
+                   code_version=config.get("code_version", ""))
+
+    def config(self) -> Dict[str, str]:
+        """Picklable description, for shipping to worker processes."""
+        return {"directory": str(self.directory),
+                "code_version": self.code_version}
+
+    def key_for(self, kind: str, material: str) -> str:
+        blob = f"{kind}\n{material}\n{self.code_version}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def path_for(self, kind: str, material: str) -> pathlib.Path:
+        key = self.key_for(kind, material)
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, kind: str, material: str) -> Optional[dict]:
+        """The stored payload, or ``None`` on miss/corruption (best effort)."""
+        path = self.path_for(kind, material)
+        try:
+            with path.open("r") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise TypeError("sidecar payload must be a dict")
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return payload
+
+    def put(self, kind: str, material: str,
+            payload: Mapping) -> Optional[pathlib.Path]:
+        """Atomically store a payload; returns ``None`` when unwritable."""
+        path = self.path_for(kind, material)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        except OSError:
+            return None
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(dict(payload), handle)
+            os.replace(tmp_name, path)
+        except (OSError, TypeError, ValueError):
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return None
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("??/*.json"))
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self.directory.glob("??/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self) -> int:
+        removed = 0
+        for path in list(self.directory.glob("??/*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
 
 def env_max_bytes() -> Optional[int]:
@@ -158,6 +287,22 @@ class ResultCache:
     def path_for(self, job: Job) -> pathlib.Path:
         key = self.key_for(job)
         return self.directory / key[:2] / f"{key}.json"
+
+    # -------------------------------------------------------------- sidecar
+    def sidecar(self) -> SidecarStore:
+        """The cache's replay sidecar (``<directory>/replay/``).
+
+        Shares the cache's ``code_version`` namespace, so bumping a runner
+        version invalidates stored schedules together with result rows.
+        The sidecar lives outside the ``??/`` entry fan-out and is exempt
+        from LRU eviction, ``clear()`` and ``prune()``.
+        """
+        return SidecarStore(self.directory / _SIDECAR_DIRNAME,
+                            code_version=self.code_version)
+
+    def sidecar_config(self) -> Dict[str, str]:
+        """Picklable sidecar description for worker processes."""
+        return self.sidecar().config()
 
     # ------------------------------------------------------------- storage
     def get(self, job: Job) -> Optional[dict]:
@@ -349,14 +494,62 @@ class ResultCache:
         return self.directory / _STATS_FILENAME
 
     def _read_lifetime(self) -> Dict[str, int]:
-        """The persisted lifetime counters (zeros when absent/corrupt)."""
+        """The persisted lifetime counters (zeros when absent/corrupt).
+
+        Retries a few times on a torn read (decode error) before zeroing:
+        writers replace the file atomically on POSIX, but filesystems
+        without atomic rename can expose a half-written file briefly, and
+        zeroing on the first garbled read would silently discard the
+        lifetime history.
+        """
+        for attempt in range(_STATS_READ_ATTEMPTS):
+            try:
+                with self._stats_path().open("r") as handle:
+                    payload = json.load(handle)
+                return {key: int(payload.get(key, 0)) for key in _COUNTER_KEYS}
+            except FileNotFoundError:
+                break
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                    TypeError, ValueError):
+                if attempt + 1 < _STATS_READ_ATTEMPTS:
+                    time.sleep(_STATS_LOCK_SLEEP_S)
+        return {key: 0 for key in _COUNTER_KEYS}
+
+    def _stats_lock_path(self) -> pathlib.Path:
+        return self.directory / _STATS_LOCK_FILENAME
+
+    def _acquire_stats_lock(self) -> bool:
+        """Take the cross-process stats lock (O_EXCL create), best effort.
+
+        Returns ``False`` when the lock stayed contended through every
+        retry or the directory is unwritable -- callers then skip the merge
+        and leave the deltas for the next ``persist_stats()`` call.  A lock
+        file older than ``_STATS_LOCK_STALE_S`` is treated as leaked by a
+        crashed process and broken.
+        """
+        lock = self._stats_lock_path()
+        for attempt in range(_STATS_LOCK_ATTEMPTS):
+            try:
+                fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+                return True
+            except FileExistsError:
+                try:
+                    if time.time() - lock.stat().st_mtime > _STATS_LOCK_STALE_S:
+                        lock.unlink()
+                        continue
+                except OSError:
+                    pass
+                time.sleep(_STATS_LOCK_SLEEP_S)
+            except OSError:
+                return False
+        return False
+
+    def _release_stats_lock(self) -> None:
         try:
-            with self._stats_path().open("r") as handle:
-                payload = json.load(handle)
-            return {key: int(payload.get(key, 0)) for key in _COUNTER_KEYS}
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError, TypeError,
-                ValueError):
-            return {key: 0 for key in _COUNTER_KEYS}
+            self._stats_lock_path().unlink()
+        except OSError:
+            pass
 
     def persist_stats(self) -> None:
         """Fold this instance's unpersisted counters into the lifetime stats.
@@ -364,24 +557,33 @@ class ResultCache:
         Best effort (a read-only cache directory is not an error): the
         executor calls this after every run so ``repro cache stats`` can
         report hit-rates across processes.  Idempotent -- already-persisted
-        counts are never folded in twice.
+        counts are never folded in twice.  The read-modify-write cycle runs
+        under a cross-process lock file so concurrent writers (streaming
+        sweeps persisting from many workers at once) merge instead of
+        overwriting each other; when the lock cannot be taken the deltas
+        simply stay pending for the next call.
         """
         deltas = {key: getattr(self, key) - self._persisted[key]
                   for key in _COUNTER_KEYS}
         if not any(deltas.values()):
             return
-        lifetime = self._read_lifetime()
-        for key, delta in deltas.items():
-            lifetime[key] += delta
-        try:
-            fd, tmp_name = tempfile.mkstemp(dir=str(self.directory),
-                                            suffix=".tmp")
-            with os.fdopen(fd, "w") as handle:
-                json.dump(lifetime, handle)
-            os.replace(tmp_name, self._stats_path())
-        except OSError:
+        if not self._acquire_stats_lock():
             return
-        self._persisted = {key: getattr(self, key) for key in _COUNTER_KEYS}
+        try:
+            lifetime = self._read_lifetime()
+            for key, delta in deltas.items():
+                lifetime[key] += delta
+            try:
+                fd, tmp_name = tempfile.mkstemp(dir=str(self.directory),
+                                                suffix=".tmp")
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(lifetime, handle)
+                os.replace(tmp_name, self._stats_path())
+            except OSError:
+                return
+            self._persisted = {key: getattr(self, key) for key in _COUNTER_KEYS}
+        finally:
+            self._release_stats_lock()
 
     def lifetime_stats(self) -> Dict[str, object]:
         """Cross-process counters: persisted totals plus unpersisted deltas."""
@@ -407,6 +609,7 @@ class ResultCache:
             except OSError:
                 continue
             entries += 1
+        sidecar = self.sidecar()
         return {
             "directory": str(self.directory),
             "code_version": self.code_version,
@@ -418,4 +621,6 @@ class ResultCache:
             "entries": entries,
             "size_bytes": size_bytes,
             "max_bytes": self.max_bytes,
+            "sidecar": {"entries": len(sidecar),
+                        "size_bytes": sidecar.size_bytes()},
         }

@@ -1,20 +1,37 @@
-"""Sharded job executor with caching, fan-out and deterministic ordering.
+"""Streaming work-stealing job executor with caching and deterministic results.
 
-The executor takes a list of :class:`~repro.engine.spec.Job` objects,
-resolves as many as possible from the result cache, groups the remaining
-jobs into shards (batches) and fans the shards out over a
-``concurrent.futures`` pool: a *process* pool for heavy simulator jobs, a
-*thread* pool or plain serial execution otherwise.  Results are always
-returned in job order, so serial and parallel sweeps are byte-identical.
+The executor takes :class:`~repro.engine.spec.Job` objects, resolves as many
+as possible from the result cache and feeds the remainder to a
+``concurrent.futures`` pool as a *stream* of adaptive micro-batches: instead
+of pre-cutting the job list into ``ceil(n / shards)`` shards and blocking on
+the slowest one, jobs are handed out a few at a time, every completed batch
+immediately frees its worker for the next one, and the batch size shrinks as
+the queue drains -- down to single jobs near the tail -- so one straggler job
+(e.g. a cold 8k^2 simulation among hundreds of warm points) never holds a
+batch of cheap jobs hostage and never leaves the other workers idle.
 
-Workers receive only (runner name, parameter dicts); the runner function is
-re-resolved inside the worker from :mod:`repro.engine.runners`, which keeps
-shards trivially picklable.
+Two ways to consume a run:
 
-Every run also measures its own telemetry -- per-shard wall times, per-job
-latency (measured inside the worker) and the cache's hit/miss counters --
-carried on the :class:`SweepResult` and exportable as a structured run
-manifest through :mod:`repro.obs.manifest`.
+* :meth:`SweepExecutor.stream` yields one :class:`StreamRow` per job *as the
+  rows land* (cache hits first, in job order; executed rows in completion
+  order), so callers can fold rows into incremental analyses
+  (:class:`repro.engine.analysis.IncrementalPareto`) and print live progress
+  while the sweep is still running.
+* :meth:`SweepExecutor.run` drains the same stream and returns the classic
+  batch :class:`SweepResult` -- rows in job order, byte-identical across
+  serial / thread / process execution and to the pre-streaming executor.
+
+Workers receive only (runner name, parameter dicts, worker context); the
+runner function is re-resolved inside the worker from
+:mod:`repro.engine.runners`, which keeps batches trivially picklable.  The
+worker context ships the cache's replay-sidecar location so worker processes
+load prebuilt :class:`~repro.lap.fastpath.ScheduleTrace` records instead of
+re-scheduling (see :meth:`~repro.engine.cache.ResultCache.sidecar`).
+
+Every run also measures its own telemetry -- per-batch wall times, per-job
+latency (measured inside the worker), time-to-first/last row and the cache's
+hit/miss counters -- carried on the :class:`SweepResult` and exportable as a
+structured run manifest through :mod:`repro.obs.manifest`.
 """
 
 from __future__ import annotations
@@ -22,8 +39,10 @@ from __future__ import annotations
 import concurrent.futures
 import math
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from repro.engine.cache import ResultCache
 from repro.engine.spec import Job, Params
@@ -32,16 +51,30 @@ ProgressCallback = Callable[[int, int], None]
 
 MODES = ("auto", "serial", "thread", "process")
 
+#: Adaptive micro-batch sizing: target this many batches per worker over the
+#: *remaining* queue, so batches start large enough to amortise pool chatter
+#: and shrink to single jobs as the tail approaches (no straggler ever drags
+#: a batch of cheap jobs with it).
+_BATCHES_PER_WORKER = 4
 
-def _run_shard(runner_name: str,
-               params_list: List[Params]) -> Tuple[List[dict], List[float]]:
-    """Execute one shard of same-runner jobs (also the process-pool target).
+#: Synthetic ``shard`` id of the zero-job cache entry recorded when a run
+#: resolves jobs from the cache (so fully-cached runs still explain where
+#: their rows came from instead of omitting the timing entry entirely).
+CACHED_SHARD_ID = -1
+
+
+def _run_shard(runner_name: str, params_list: List[Params],
+               worker_context: Optional[dict] = None) -> Tuple[List[dict], List[float]]:
+    """Execute one micro-batch of same-runner jobs (also the pool target).
 
     Returns the result rows plus the per-job wall seconds, measured in the
     worker so pool queueing never inflates a job's reported latency.
+    ``worker_context`` configures worker-process state (currently the
+    replay-sidecar location) before the first job runs.
     """
-    from repro.engine.runners import get_runner
+    from repro.engine.runners import configure_worker, get_runner
 
+    configure_worker(worker_context)
     runner = get_runner(runner_name)
     rows: List[dict] = []
     seconds: List[float] = []
@@ -52,6 +85,24 @@ def _run_shard(runner_name: str,
     return rows, seconds
 
 
+@dataclass(frozen=True)
+class StreamRow:
+    """One completed sweep row, yielded by :meth:`SweepExecutor.stream`.
+
+    ``index`` is the row's position in the submitted job list (the order
+    :attr:`SweepResult.rows` uses); ``elapsed_s`` is the wall time since the
+    stream started when the row landed; ``latency_s`` is the worker-side
+    execution time (``None`` for cache hits).
+    """
+
+    index: int
+    job: Job
+    row: dict
+    cached: bool
+    latency_s: Optional[float]
+    elapsed_s: float
+
+
 @dataclass
 class SweepResult:
     """Outcome of one executor run.
@@ -60,9 +111,14 @@ class SweepResult:
     ``jobs[i]`` regardless of cache state or completion order.  So is
     ``job_latency_s`` -- the worker-side wall seconds of each executed job,
     ``None`` for cache hits.  ``shard_timings`` records one entry per
-    executed shard (runner, job count, worker wall seconds) and
+    executed micro-batch (runner, job count, worker wall seconds); a run
+    that resolved any jobs from the cache additionally records one zero-job
+    entry (``shard == CACHED_SHARD_ID``, ``cached`` = hit count) so fully
+    cached runs are not silently absent from the timing table.
     ``cache_stats`` snapshots the result cache's live hit/miss counters
-    (``None`` when the run was uncached).
+    (``None`` when the run was uncached).  ``first_row_s`` / ``last_row_s``
+    are the wall seconds from run start until the first / last row became
+    available on the stream (``None`` for empty runs).
     """
 
     jobs: List[Job]
@@ -74,6 +130,8 @@ class SweepResult:
     shard_timings: List[dict] = field(default_factory=list)
     job_latency_s: List[Optional[float]] = field(default_factory=list)
     cache_stats: Optional[dict] = None
+    first_row_s: Optional[float] = None
+    last_row_s: Optional[float] = None
 
     @property
     def total(self) -> int:
@@ -89,6 +147,77 @@ class SweepResult:
         return text
 
 
+class _StreamState:
+    """Mutable accumulators one stream run shares with its SweepResult."""
+
+    def __init__(self, jobs: List[Job]) -> None:
+        self.jobs = jobs
+        self.rows: List[Optional[dict]] = [None] * len(jobs)
+        self.latencies: List[Optional[float]] = [None] * len(jobs)
+        self.shard_timings: List[dict] = []
+        self.cached = 0
+        self.executed = 0
+        self.mode = "serial"
+        self.started = time.perf_counter()
+        self.first_row_s: Optional[float] = None
+        self.last_row_s: Optional[float] = None
+        self.cache_stats: Optional[dict] = None
+
+    def mark_row(self) -> float:
+        elapsed = time.perf_counter() - self.started
+        if self.first_row_s is None:
+            self.first_row_s = elapsed
+        self.last_row_s = elapsed
+        return elapsed
+
+    def result(self) -> SweepResult:
+        return SweepResult(jobs=self.jobs, rows=list(self.rows),
+                           executed=self.executed, cached=self.cached,
+                           mode=self.mode,
+                           elapsed_s=time.perf_counter() - self.started,
+                           shard_timings=self.shard_timings,
+                           job_latency_s=self.latencies,
+                           cache_stats=self.cache_stats,
+                           first_row_s=self.first_row_s,
+                           last_row_s=self.last_row_s)
+
+
+class SweepStream:
+    """Iterator over a streaming sweep's rows plus its final result.
+
+    Iterate to receive one :class:`StreamRow` per job as rows land;
+    :meth:`result` drains any remaining rows and packages the run's
+    :class:`SweepResult` (identical to what :meth:`SweepExecutor.run` on the
+    same jobs returns).
+    """
+
+    def __init__(self, events: Iterator[StreamRow], state: _StreamState) -> None:
+        self._events = events
+        self._state = state
+        self._exhausted = False
+
+    def __iter__(self) -> "SweepStream":
+        return self
+
+    def __next__(self) -> StreamRow:
+        try:
+            return next(self._events)
+        except StopIteration:
+            self._exhausted = True
+            raise
+
+    @property
+    def total(self) -> int:
+        return len(self._state.jobs)
+
+    def result(self) -> SweepResult:
+        """Drain the stream (if needed) and return the batch result."""
+        if not self._exhausted:
+            for _ in self:
+                pass
+        return self._state.result()
+
+
 class SweepExecutor:
     """Runs sweep jobs through an optional cache and a worker pool.
 
@@ -102,14 +231,18 @@ class SweepExecutor:
     max_workers:
         Pool size (default: ``os.cpu_count()`` capped at 8).
     batch_size:
-        Jobs per shard; by default sized so each worker receives ~4 shards,
-        which bounds pool chatter while keeping the pool busy.
+        Fixed jobs per micro-batch; by default the size adapts to the
+        remaining queue (about ``remaining / (workers * 4)``, floored at 1),
+        which bounds pool chatter up front while the tail degrades to
+        single-job hand-outs so stragglers never quantise the finish.
     cache:
         Optional :class:`ResultCache`; hits skip execution entirely and
-        fresh results are written back after each shard completes.
+        fresh results are written back as each micro-batch completes.  Its
+        replay sidecar is shipped to workers so recorded schedules are
+        shared across processes.
     progress:
         Optional callback invoked as ``progress(done, total)`` after the
-        cache scan and after every completed shard.
+        cache scan and after every completed micro-batch.
     """
 
     def __init__(self, mode: str = "auto", max_workers: Optional[int] = None,
@@ -147,134 +280,180 @@ class SweepExecutor:
             return "process"
         return "serial"
 
-    def _shards(self, pending: Sequence[Tuple[int, Job]],
-                workers: int) -> List[List[Tuple[int, Job]]]:
-        """Split pending jobs into same-runner shards, preserving order."""
-        if not pending:
-            return []
-        size = self.batch_size
-        if size is None:
-            size = max(1, math.ceil(len(pending) / (workers * 4)))
-        shards: List[List[Tuple[int, Job]]] = []
-        current: List[Tuple[int, Job]] = []
-        for item in pending:
-            if current and (len(current) >= size or current[0][1].runner != item[1].runner):
-                shards.append(current)
-                current = []
-            current.append(item)
-        if current:
-            shards.append(current)
-        return shards
+    def _next_batch(self, queue: "deque[Tuple[int, Job]]",
+                    workers: int) -> List[Tuple[int, Job]]:
+        """Pop the next same-runner micro-batch off the pending queue.
+
+        With an explicit ``batch_size`` the size is fixed; otherwise it
+        adapts to the remaining queue so early batches amortise dispatch
+        overhead while the tail hands out single jobs (straggler-aware).
+        """
+        if self.batch_size is not None:
+            size = self.batch_size
+        else:
+            size = max(1, math.ceil(len(queue) / (workers * _BATCHES_PER_WORKER)))
+        batch = [queue.popleft()]
+        runner = batch[0][1].runner
+        while queue and len(batch) < size and queue[0][1].runner == runner:
+            batch.append(queue.popleft())
+        return batch
+
+    def _worker_context(self) -> Optional[dict]:
+        """Per-worker configuration shipped with every micro-batch."""
+        if self.cache is None:
+            return None
+        return {"replay_sidecar": self.cache.sidecar_config()}
 
     def _report(self, done: int, total: int) -> None:
         if self.progress is not None:
             self.progress(done, total)
 
-    # ------------------------------------------------------------------ run
-    def run(self, jobs: Sequence[Job]) -> SweepResult:
-        """Execute all jobs, resolving cache hits first."""
-        jobs = list(jobs)
-        started = time.perf_counter()
-        rows: List[Optional[dict]] = [None] * len(jobs)
-        latencies: List[Optional[float]] = [None] * len(jobs)
-        shard_timings: List[dict] = []
-        cached = 0
+    # --------------------------------------------------------------- stream
+    def stream(self, jobs: Iterable[Job]) -> SweepStream:
+        """Execute all jobs, yielding rows as they land.
+
+        Cache hits are yielded first (in job order), then executed rows in
+        completion order.  Call :meth:`SweepStream.result` after (or instead
+        of) iterating for the batch :class:`SweepResult`.
+        """
+        state = _StreamState(list(jobs))
+        return SweepStream(self._events(state), state)
+
+    def _events(self, state: _StreamState) -> Iterator[StreamRow]:
+        jobs = state.jobs
+        total = len(jobs)
+        hits: List[Tuple[int, dict]] = []
         if self.cache is not None:
             for index, job in enumerate(jobs):
                 hit = self.cache.get(job)
                 if hit is not None:
-                    rows[index] = hit
-                    cached += 1
-        pending = [(i, job) for i, job in enumerate(jobs) if rows[i] is None]
-        self._report(cached, len(jobs))
+                    state.rows[index] = hit
+                    hits.append((index, hit))
+        state.cached = len(hits)
+        pending = [(i, job) for i, job in enumerate(jobs)
+                   if state.rows[i] is None]
+        state.executed = len(pending)
+        self._report(state.cached, total)
+        if hits:
+            # The zero-job shard entry: cache resolution is a real source of
+            # rows and gets a timing-table line even when nothing executed.
+            state.shard_timings.append({
+                "shard": CACHED_SHARD_ID,
+                "runner": jobs[hits[0][0]].runner,
+                "jobs": 0,
+                "cached": len(hits),
+                "elapsed_s": 0.0,
+            })
+        for index, row in hits:
+            yield StreamRow(index=index, job=jobs[index], row=row, cached=True,
+                            latency_s=None, elapsed_s=state.mark_row())
 
         workers = self._resolve_workers()
         mode = self._resolve_mode(pending, workers)
-        shards = self._shards(pending, workers)
+        queue = deque(pending)
 
-        if mode == "serial" or not shards:
+        if mode == "serial" or not pending:
             # An explicitly requested pool mode is honoured even for a
-            # single shard (worker isolation may be the point); only "serial"
-            # and empty runs execute in-process.
-            mode = "serial"
-            done = cached
-            for shard_id, shard in enumerate(shards):
-                self._finish_shard(shard, _run_shard(shard[0][1].runner,
-                                                     [j.params_dict for _, j in shard]),
-                                   rows, latencies, shard_timings, shard_id)
-                done += len(shard)
-                self._report(done, len(jobs))
+            # single batch (worker isolation may be the point); only
+            # "serial" and fully-cached runs execute in-process.
+            state.mode = "serial"
+            yield from self._serial_events(state, queue, workers, total)
         else:
-            mode = self._run_pool(mode, workers, shards, rows, latencies,
-                                  shard_timings, cached, len(jobs))
+            state.mode = mode
+            yield from self._pool_events(state, queue, workers, total)
 
-        executed = len(pending)
-        elapsed = time.perf_counter() - started
-        cache_stats = None
         if self.cache is not None:
-            cache_stats = self.cache.counters()
+            state.cache_stats = self.cache.counters()
             self.cache.persist_stats()
-        return SweepResult(jobs=jobs, rows=list(rows), executed=executed,
-                           cached=cached, mode=mode, elapsed_s=elapsed,
-                           shard_timings=shard_timings,
-                           job_latency_s=latencies, cache_stats=cache_stats)
 
-    def _run_pool(self, mode: str, workers: int,
-                  shards: List[List[Tuple[int, Job]]], rows: List[Optional[dict]],
-                  latencies: List[Optional[float]], shard_timings: List[dict],
-                  cached: int, total: int) -> str:
-        pool_cls = (concurrent.futures.ProcessPoolExecutor if mode == "process"
+    def _serial_events(self, state: _StreamState, queue: "deque[Tuple[int, Job]]",
+                       workers: int, total: int) -> Iterator[StreamRow]:
+        context = self._worker_context()
+        done = state.cached
+        shard_id = 0
+        while queue:
+            batch = self._next_batch(queue, workers)
+            outcome = _run_shard(batch[0][1].runner,
+                                 [job.params_dict for _, job in batch], context)
+            yield from self._finish_batch(state, batch, outcome, shard_id)
+            shard_id += 1
+            done += len(batch)
+            self._report(done, total)
+
+    def _pool_events(self, state: _StreamState, queue: "deque[Tuple[int, Job]]",
+                     workers: int, total: int) -> Iterator[StreamRow]:
+        pool_cls = (concurrent.futures.ProcessPoolExecutor
+                    if state.mode == "process"
                     else concurrent.futures.ThreadPoolExecutor)
+        pool_workers = min(workers, len(queue))
         try:
-            pool = pool_cls(max_workers=min(workers, len(shards)))
+            pool = pool_cls(max_workers=pool_workers)
         except (OSError, PermissionError, ImportError):
             # Environments without working process spawning (restricted
             # sandboxes) silently fall back to threads.
-            mode = "thread"
-            pool = concurrent.futures.ThreadPoolExecutor(max_workers=min(workers, len(shards)))
-        done = cached
+            state.mode = "thread"
+            pool = concurrent.futures.ThreadPoolExecutor(max_workers=pool_workers)
+        context = self._worker_context()
+        done = state.cached
+        shard_id = 0
+        inflight: Dict[concurrent.futures.Future, Tuple[int, List[Tuple[int, Job]]]] = {}
+
+        def submit_next() -> None:
+            nonlocal shard_id
+            batch = self._next_batch(queue, workers)
+            future = pool.submit(_run_shard, batch[0][1].runner,
+                                 [job.params_dict for _, job in batch], context)
+            inflight[future] = (shard_id, batch)
+            shard_id += 1
+
         try:
             with pool:
-                futures = {
-                    pool.submit(_run_shard, shard[0][1].runner,
-                                [job.params_dict for _, job in shard]): (shard_id, shard)
-                    for shard_id, shard in enumerate(shards)
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    shard_id, shard = futures[future]
-                    self._finish_shard(shard, future.result(), rows, latencies,
-                                       shard_timings, shard_id)
-                    done += len(shard)
-                    self._report(done, total)
+                while queue and len(inflight) < pool_workers:
+                    submit_next()
+                while inflight:
+                    ready, _ = concurrent.futures.wait(
+                        inflight, return_when=concurrent.futures.FIRST_COMPLETED)
+                    for future in ready:
+                        batch_id, batch = inflight.pop(future)
+                        outcome = future.result()
+                        # Refill the freed worker before yielding, so the
+                        # pool never sits idle while the consumer works.
+                        while queue and len(inflight) < pool_workers:
+                            submit_next()
+                        yield from self._finish_batch(state, batch, outcome,
+                                                      batch_id)
+                        done += len(batch)
+                        self._report(done, total)
         except concurrent.futures.BrokenExecutor:
-            if mode != "process":
+            if state.mode != "process":
                 raise
             # A broken process pool (e.g. fork disallowed) degrades to a
-            # serial re-run of every shard with any row still missing.
-            mode = "serial"
-            for shard_id, shard in enumerate(shards):
-                if any(rows[index] is None for index, _ in shard):
-                    self._finish_shard(shard, _run_shard(shard[0][1].runner,
-                                                         [j.params_dict for _, j in shard]),
-                                       rows, latencies, shard_timings, shard_id)
+            # serial re-run of every job whose row is still missing.
+            state.mode = "serial"
+            missing = deque((index, job) for index, job in enumerate(state.jobs)
+                            if state.rows[index] is None)
+            while missing:
+                batch = self._next_batch(missing, workers)
+                outcome = _run_shard(batch[0][1].runner,
+                                     [job.params_dict for _, job in batch],
+                                     context)
+                yield from self._finish_batch(state, batch, outcome, shard_id)
+                shard_id += 1
             self._report(total, total)
-        return mode
 
-    def _finish_shard(self, shard: List[Tuple[int, Job]],
-                      shard_result: Tuple[List[dict], List[float]],
-                      rows: List[Optional[dict]],
-                      latencies: List[Optional[float]],
-                      shard_timings: List[dict], shard_id: int) -> None:
-        shard_rows, shard_seconds = shard_result
-        shard_timings.append({
+    def _finish_batch(self, state: _StreamState, batch: List[Tuple[int, Job]],
+                      outcome: Tuple[List[dict], List[float]],
+                      shard_id: int) -> Iterator[StreamRow]:
+        batch_rows, batch_seconds = outcome
+        state.shard_timings.append({
             "shard": shard_id,
-            "runner": shard[0][1].runner,
-            "jobs": len(shard),
-            "elapsed_s": float(sum(shard_seconds)),
+            "runner": batch[0][1].runner,
+            "jobs": len(batch),
+            "elapsed_s": float(sum(batch_seconds)),
         })
-        for (index, job), row, seconds in zip(shard, shard_rows, shard_seconds):
-            rows[index] = row
-            latencies[index] = seconds
+        for (index, job), row, seconds in zip(batch, batch_rows, batch_seconds):
+            state.rows[index] = row
+            state.latencies[index] = seconds
             if self.cache is not None:
                 try:
                     self.cache.put(job, row)
@@ -287,6 +466,18 @@ class SweepExecutor:
                           f"caching disabled for the rest of this run",
                           file=sys.stderr)
                     self.cache = None
+            yield StreamRow(index=index, job=job, row=row, cached=False,
+                            latency_s=seconds, elapsed_s=state.mark_row())
+
+    # ------------------------------------------------------------------ run
+    def run(self, jobs: Iterable[Job]) -> SweepResult:
+        """Execute all jobs and return the batch result (rows in job order).
+
+        A thin wrapper over :meth:`stream`: the rows, their ordering and the
+        telemetry are identical whether the run was consumed incrementally
+        or as one batch.
+        """
+        return self.stream(jobs).result()
 
 
 def execute_jobs(jobs: Sequence[Job], mode: str = "auto",
@@ -297,3 +488,13 @@ def execute_jobs(jobs: Sequence[Job], mode: str = "auto",
     executor = SweepExecutor(mode=mode, max_workers=max_workers,
                              batch_size=batch_size, cache=cache, progress=progress)
     return executor.run(jobs)
+
+
+def stream_jobs(jobs: Sequence[Job], mode: str = "auto",
+                max_workers: Optional[int] = None, batch_size: Optional[int] = None,
+                cache: Optional[ResultCache] = None,
+                progress: Optional[ProgressCallback] = None) -> SweepStream:
+    """One-shot convenience wrapper around :meth:`SweepExecutor.stream`."""
+    executor = SweepExecutor(mode=mode, max_workers=max_workers,
+                             batch_size=batch_size, cache=cache, progress=progress)
+    return executor.stream(jobs)

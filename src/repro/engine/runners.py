@@ -42,7 +42,7 @@ compare byte-identically across serial / thread / process execution.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.engine.analysis import DEFAULT_OBJECTIVES
 from repro.engine.spec import Params
@@ -107,6 +107,84 @@ KNOWN_PARAMS: Dict[str, frozenset] = {
 #: dependency -- a miss just re-simulates).
 _REPLAY_MEMO: "Dict[tuple, tuple]" = {}
 _REPLAY_MEMO_MAX = 16
+
+#: Cross-process replay sidecar (a :class:`repro.engine.cache.SidecarStore`)
+#: configured by the executor through :func:`configure_worker`; ``None``
+#: keeps replay purely in-process.  Worker processes each configure their
+#: own handle from the picklable context shipped with every micro-batch.
+_WORKER_SIDECAR = None
+
+#: Sidecar record kind for persisted ``lap_runtime`` schedule recordings.
+_REPLAY_SIDECAR_KIND = "lap_runtime/schedule_trace"
+
+
+def configure_worker(context: Optional[Mapping] = None) -> None:
+    """Apply executor-provided per-worker context (idempotent).
+
+    Currently the context carries the result cache's replay-sidecar
+    location (``{"replay_sidecar": {"directory": ..., "code_version":
+    ...}}``); passing ``None`` or an empty context resets to purely
+    in-process replay.  Called by the executor at the start of serial runs
+    and inside every pool worker before a micro-batch executes.
+    """
+    global _WORKER_SIDECAR
+    sidecar_config = context.get("replay_sidecar") if context else None
+    if not sidecar_config:
+        _WORKER_SIDECAR = None
+        return
+    if (_WORKER_SIDECAR is not None
+            and _WORKER_SIDECAR.config() == dict(sidecar_config)):
+        return
+    from repro.engine.cache import SidecarStore
+
+    _WORKER_SIDECAR = SidecarStore.from_config(sidecar_config)
+
+
+def _replay_material(structural_key: tuple) -> str:
+    """Canonical sidecar key material of a structural replay key."""
+    import json
+
+    return json.dumps(structural_key)
+
+
+def _memoize_replay(structural_key: tuple, trace, row: dict) -> None:
+    _REPLAY_MEMO[structural_key] = (trace, row)
+    while len(_REPLAY_MEMO) > _REPLAY_MEMO_MAX:
+        _REPLAY_MEMO.pop(next(iter(_REPLAY_MEMO)))
+
+
+def _load_replay_from_sidecar(structural_key: tuple) -> Optional[tuple]:
+    """Seed the in-process memo from the cross-process sidecar, if present."""
+    if _WORKER_SIDECAR is None:
+        return None
+    payload = _WORKER_SIDECAR.get(_REPLAY_SIDECAR_KIND,
+                                  _replay_material(structural_key))
+    if payload is None:
+        return None
+    from repro.lap.fastpath import REPLAY_STATS, ScheduleTrace
+
+    try:
+        trace = ScheduleTrace.from_payload(payload["trace"])
+        row = payload["row"]
+        if not isinstance(row, dict):
+            raise TypeError("sidecar replay row must be a dict")
+    except (KeyError, TypeError, ValueError):
+        return None
+    REPLAY_STATS["sidecar_loaded"] += 1
+    _memoize_replay(structural_key, trace, row)
+    return (trace, row)
+
+
+def _store_replay_to_sidecar(structural_key: tuple, trace, row: dict) -> None:
+    """Publish a fresh schedule recording for other processes (best effort)."""
+    if _WORKER_SIDECAR is None:
+        return
+    payload = {"trace": trace.to_payload(), "row": row}
+    if _WORKER_SIDECAR.put(_REPLAY_SIDECAR_KIND,
+                           _replay_material(structural_key), payload) is not None:
+        from repro.lap.fastpath import REPLAY_STATS
+
+        REPLAY_STATS["sidecar_stored"] += 1
 
 
 def _replayed_row(row: dict, stall_overlap, bandwidth_gbs, memory: bool) -> dict:
@@ -499,6 +577,10 @@ def run_lap_runtime(params: Params) -> dict:
                       fast)
     if replay == "auto":
         cached = _REPLAY_MEMO.get(structural_key)
+        if cached is None:
+            # Cross-process warm path: another worker (or an earlier run)
+            # may have published this schedule to the cache's replay sidecar.
+            cached = _load_replay_from_sidecar(structural_key)
         if cached is not None:
             from repro.lap.fastpath import REPLAY_STATS
             trace, cached_row = cached
@@ -588,10 +670,10 @@ def run_lap_runtime(params: Params) -> dict:
             })
     if replay == "auto":
         from repro.lap.fastpath import REPLAY_STATS
-        _REPLAY_MEMO[structural_key] = (runtime.schedule_trace(), dict(row))
+        trace = runtime.schedule_trace()
+        _memoize_replay(structural_key, trace, dict(row))
         REPLAY_STATS["recorded"] += 1
-        while len(_REPLAY_MEMO) > _REPLAY_MEMO_MAX:
-            _REPLAY_MEMO.pop(next(iter(_REPLAY_MEMO)))
+        _store_replay_to_sidecar(structural_key, trace, dict(row))
     return row
 
 

@@ -194,14 +194,29 @@ class SweepSpec:
                     point.update(pairs)
                 yield point
 
+    def iter_points(self) -> Iterator[Params]:
+        """Lazily yield parameter points in deterministic declaration order.
+
+        Streaming twin of :meth:`expand`: nothing is materialised, so huge
+        sweeps can be fed point-by-point into
+        :meth:`repro.engine.executor.SweepExecutor.stream`.
+        """
+        for point in self._iter_points():
+            if all(pred(point) for pred in self._filters):
+                yield point
+
     def expand(self) -> List[Params]:
         """All parameter points, in deterministic declaration order."""
-        return [p for p in self._iter_points()
-                if all(pred(p) for pred in self._filters)]
+        return list(self.iter_points())
+
+    def iter_jobs(self, runner: str) -> Iterator[Job]:
+        """Lazily yield every point as a :class:`Job` bound to ``runner``."""
+        for point in self.iter_points():
+            yield Job.create(runner, point)
 
     def jobs(self, runner: str) -> List[Job]:
         """Wrap every point into a :class:`Job` bound to ``runner``."""
-        return [Job.create(runner, point) for point in self.expand()]
+        return list(self.iter_jobs(runner))
 
     def __len__(self) -> int:
         return len(self.expand())

@@ -561,7 +561,11 @@ def _policy_codes() -> Dict[type, int]:
 _POLICY_CODES: Dict[type, int] = _policy_codes()
 
 #: Counters of the schedule-replay fast path (reset freely in tests).
-REPLAY_STATS: Dict[str, int] = {"recorded": 0, "replayed": 0, "forced": 0}
+#: ``sidecar_loaded`` / ``sidecar_stored`` track the cross-process replay
+#: sidecar (see :meth:`repro.engine.cache.ResultCache.sidecar`): loads seed
+#: the in-process memo from disk, stores publish fresh recordings to it.
+REPLAY_STATS: Dict[str, int] = {"recorded": 0, "replayed": 0, "forced": 0,
+                                "sidecar_loaded": 0, "sidecar_stored": 0}
 
 
 class ScheduleTrace:
@@ -582,7 +586,8 @@ class ScheduleTrace:
                  default_bandwidth_gbs: float,
                  total_spill_bytes: float, total_movement_cycles: float,
                  task_ids: List[int], cores: List[int],
-                 starts: List[float], ends: List[float]):
+                 starts: List[float], ends: List[float],
+                 num_tasks: Optional[int] = None):
         self.policy = policy
         self.timing = timing
         self.stall_overlap = stall_overlap
@@ -594,9 +599,48 @@ class ScheduleTrace:
         self.cores = cores
         self.starts = starts
         self.ends = ends
+        self._num_tasks = num_tasks
 
     def __len__(self) -> int:
+        if self._num_tasks is not None:
+            return self._num_tasks
         return len(self.task_ids)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serialisable header for the cross-process replay sidecar.
+
+        The exactness decision (:meth:`exact_for`) only needs the scalar
+        header, so the per-task dispatch arrays are deliberately dropped:
+        a sidecar record stays a few hundred bytes even for million-task
+        schedules.  The task count survives as ``num_tasks``.
+        """
+        return {
+            "policy": self.policy,
+            "timing": self.timing,
+            "stall_overlap": self.stall_overlap,
+            "effective_bandwidth_gbs": self.effective_bandwidth_gbs,
+            "default_bandwidth_gbs": self.default_bandwidth_gbs,
+            "total_spill_bytes": self.total_spill_bytes,
+            "total_movement_cycles": self.total_movement_cycles,
+            "num_tasks": len(self),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ScheduleTrace":
+        """Rebuild a (header-only) trace persisted by :meth:`to_payload`."""
+        return cls(
+            policy=str(payload["policy"]),
+            timing=str(payload["timing"]),
+            stall_overlap=float(payload["stall_overlap"]),
+            effective_bandwidth_gbs=(
+                None if payload.get("effective_bandwidth_gbs") is None
+                else float(payload["effective_bandwidth_gbs"])),
+            default_bandwidth_gbs=float(payload["default_bandwidth_gbs"]),
+            total_spill_bytes=float(payload["total_spill_bytes"]),
+            total_movement_cycles=float(payload["total_movement_cycles"]),
+            task_ids=[], cores=[], starts=[], ends=[],
+            num_tasks=int(payload["num_tasks"]),
+        )
 
     def exact_for(self, bandwidth_gbs: Optional[float],
                   stall_overlap: float) -> bool:

@@ -19,8 +19,14 @@ The schema is deliberately flat and stable::
       "shards": [{"shard": 0, "runner": ..., "jobs": 3, "elapsed_s": ...}],
       "job_latency_s": [...],          # aligned with the job list; cached
       "job_params": [...],             # hits carry null latency
-      "latency": {"count", "total_s", "mean_s", "max_s"}
+      "latency": {"count", "total_s", "mean_s", "max_s"},
+      "streaming": {"first_row_s": ..., "last_row_s": ...}
     }
+
+The ``streaming`` block records when the first and the last row became
+available on the executor's stream (wall seconds from run start; null for
+empty runs), so streaming wins -- time-to-first-row well under the total
+wall time -- stay visible in ``repro report``.
 """
 
 from __future__ import annotations
@@ -68,6 +74,10 @@ def build_run_manifest(result, runner: Optional[str] = None,
         "job_latency_s": list(result.job_latency_s),
         "job_params": [job.params_dict for job in result.jobs],
         "latency": _latency_summary(result.job_latency_s),
+        "streaming": {
+            "first_row_s": getattr(result, "first_row_s", None),
+            "last_row_s": getattr(result, "last_row_s", None),
+        },
     }
     if extra:
         manifest.update(extra)

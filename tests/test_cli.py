@@ -304,6 +304,7 @@ def test_cache_stats(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "entries       : 4" in out
     assert "size_mbytes" in out
+    assert "replay        : 0 sidecar entries" in out
 
 
 def test_cache_stats_json(tmp_path, capsys):
@@ -474,6 +475,44 @@ def test_report_from_manifest_and_json(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["manifest"]["schema"] == "repro.obs.run_manifest/v1"
     assert payload["trace"]["cycle_attribution"]["num_cores"] == 2
+
+
+def test_sweep_stream_live_progress_and_manifest(tmp_path, capsys):
+    rows = str(tmp_path / "rows.json")
+    argv = ["sweep", "--runner", "design", "--grid", "cores=4,8,16",
+            "--grid", "nr=2,4", "--cache-dir", str(tmp_path / "cache"),
+            "--stream", "--json", rows]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert "6/6 rows" in captured.err
+    assert "% cached" in captured.err
+    assert "frontier" in captured.err
+    manifest = rows + ".manifest.json"
+    with open(manifest) as handle:
+        streaming = json.load(handle)["streaming"]
+    assert streaming["first_row_s"] is not None
+    assert streaming["last_row_s"] >= streaming["first_row_s"]
+
+    # The warm streaming re-run reports a 100% hit-rate live.
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert "100% cached" in captured.err
+    with open(rows) as handle:
+        payload = json.load(handle)
+    assert payload["executed"] == 0 and payload["cached"] == 6
+
+    # `repro report` surfaces the recorded streaming latencies.
+    assert main(["report", "--manifest", manifest]) == 0
+    assert "streaming     : first row" in capsys.readouterr().out
+
+
+def test_sweep_stream_rows_match_batch(tmp_path, capsys):
+    batch = ["sweep", "--runner", "design", "--grid", "cores=4,8",
+             "--no-cache", "--json", "-"]
+    assert main(batch) == 0
+    expected = json.loads(capsys.readouterr().out)["rows"]
+    assert main(batch + ["--stream"]) == 0
+    assert json.loads(capsys.readouterr().out)["rows"] == expected
 
 
 def test_sweep_explicit_manifest_path(tmp_path, capsys):

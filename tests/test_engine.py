@@ -453,6 +453,329 @@ class TestFigureEngineEnv:
         assert "REPRO_FIGURE_CACHE" in capsys.readouterr().err
 
 
+# ------------------------------------------------------------- streaming
+class TestStreaming:
+    def test_stream_yields_every_job_once(self):
+        jobs = _chip_jobs()
+        from repro.engine import stream_jobs
+
+        events = list(stream_jobs(jobs, mode="serial"))
+        assert sorted(e.index for e in events) == list(range(len(jobs)))
+        assert all(not e.cached and e.latency_s is not None for e in events)
+        assert all(e.row["num_cores"] == e.job.params_dict["num_cores"]
+                   for e in events)
+
+    def test_stream_then_result_matches_run(self, tmp_path):
+        jobs = _chip_jobs()
+        # Two identically warmed caches, so the streamed and the batch run
+        # see the same hit pattern without feeding each other.
+        stream_cache = ResultCache(tmp_path / "a", code_version="v1")
+        batch_cache = ResultCache(tmp_path / "b", code_version="v1")
+        execute_jobs(jobs[:4], mode="serial", cache=stream_cache)
+        execute_jobs(jobs[:4], mode="serial", cache=batch_cache)
+
+        from repro.engine import SweepExecutor
+
+        stream = SweepExecutor(mode="thread", max_workers=4,
+                               cache=stream_cache).stream(jobs)
+        events = list(stream)
+        streamed = stream.result()
+        batch = execute_jobs(jobs, mode="serial", cache=batch_cache)
+        # Stream events reassembled by index equal the job-ordered rows.
+        by_index = [None] * len(jobs)
+        for event in events:
+            assert by_index[event.index] is None
+            by_index[event.index] = event.row
+        assert json.dumps(by_index) == json.dumps(batch.rows)
+        assert json.dumps(streamed.rows) == json.dumps(batch.rows)
+        # Telemetry shape matches the batch result.
+        assert streamed.executed == batch.executed
+        assert streamed.cached == batch.cached == 4
+        assert streamed.job_latency_s[:4] == [None] * 4
+        assert sum(s["jobs"] for s in streamed.shard_timings) == \
+            sum(s["jobs"] for s in batch.shard_timings)
+        assert streamed.first_row_s is not None
+        assert streamed.last_row_s >= streamed.first_row_s
+
+    def test_cached_rows_stream_first_in_job_order(self, tmp_path):
+        jobs = _chip_jobs()
+        cache = ResultCache(tmp_path, code_version="v1")
+        execute_jobs([jobs[1], jobs[5], jobs[7]], mode="serial", cache=cache)
+
+        from repro.engine import stream_jobs
+
+        events = list(stream_jobs(jobs, mode="serial", cache=cache))
+        cached_prefix = [e.index for e in events if e.cached]
+        assert cached_prefix == [1, 5, 7]
+        assert [e.cached for e in events[:3]] == [True, True, True]
+        assert not any(e.cached for e in events[3:])
+
+    def test_result_drains_unconsumed_stream(self):
+        jobs = _chip_jobs(n_cores=(4, 8), bws=(8,))
+        from repro.engine import stream_jobs
+
+        result = stream_jobs(jobs, mode="serial").result()
+        assert result.total == len(jobs)
+        assert all(row is not None for row in result.rows)
+
+    def test_adaptive_batches_shrink_to_single_jobs_at_tail(self):
+        jobs = _chip_jobs(n_cores=(4, 8, 12, 16), bws=(8, 16, 24))  # 12 jobs
+        result = execute_jobs(jobs, mode="thread", max_workers=2)
+        sizes = [s["jobs"] for s in result.shard_timings]
+        assert sum(sizes) == len(jobs)
+        # remaining/(workers*4) starts at ceil(12/8)=2 and decays to 1.
+        assert sizes[-1] == 1
+        assert max(sizes) <= 2
+
+    def test_fully_cached_run_records_zero_job_shard_entry(self, tmp_path):
+        """Bugfix: cache resolution shows up in shard_timings instead of
+        leaving a fully-cached run with an empty timing table."""
+        jobs = _chip_jobs(n_cores=(4, 8), bws=(8, 16))
+        cache = ResultCache(tmp_path, code_version="v1")
+        cold = execute_jobs(jobs, mode="serial", cache=cache)
+        assert all(s["jobs"] > 0 for s in cold.shard_timings)  # no hits: no entry
+        warm = execute_jobs(jobs, mode="serial", cache=cache)
+        assert warm.cached == len(jobs)
+        assert len(warm.shard_timings) == 1
+        entry = warm.shard_timings[0]
+        assert entry["shard"] == -1
+        assert entry["jobs"] == 0
+        assert entry["cached"] == len(jobs)
+        assert entry["runner"] == "chip_gemm"
+        assert entry["elapsed_s"] == 0.0
+
+    def test_partially_cached_run_records_both_entries(self, tmp_path):
+        jobs = _chip_jobs(n_cores=(4, 8), bws=(8, 16))
+        cache = ResultCache(tmp_path, code_version="v1")
+        execute_jobs(jobs[:2], mode="serial", cache=cache)
+        mixed = execute_jobs(jobs, mode="serial", cache=cache)
+        zero = [s for s in mixed.shard_timings if s["jobs"] == 0]
+        assert len(zero) == 1 and zero[0]["cached"] == 2
+        assert sum(s["jobs"] for s in mixed.shard_timings) == 2
+
+    def test_spec_iter_jobs_matches_jobs(self):
+        spec = (SweepSpec().constants(nr=4).grid(a=(1, 2, 3))
+                .filter(lambda p: p["a"] != 2))
+        assert list(spec.iter_jobs("design")) == spec.jobs("design")
+        assert list(spec.iter_points()) == spec.expand()
+
+
+# ------------------------------------------------------ incremental Pareto
+class TestIncrementalPareto:
+    def _rows(self, vectors):
+        return [{"x": float(x), "y": float(y)} for x, y in vectors]
+
+    def test_matches_batch_on_simple_case(self):
+        from repro.engine import IncrementalPareto
+
+        rows = self._rows([(1, 1), (2, 2), (0, 3), (2, 2), (3, 0), (1, 2)])
+        inc = IncrementalPareto(objectives=("x", "y"))
+        inc.update(rows)
+        assert inc.frontier() == pareto_frontier(rows, objectives=("x", "y"))
+        assert len(inc) == len(pareto_frontier(rows, objectives=("x", "y")))
+        assert inc.seen == len(rows)
+
+    def test_minimize_axes_match_batch(self):
+        from repro.engine import IncrementalPareto
+
+        rows = self._rows([(1, 5), (2, 3), (3, 4), (2, 3), (4, 1)])
+        inc = IncrementalPareto(objectives=("x", "y"), minimize=("y",))
+        inc.update(rows)
+        assert inc.frontier() == pareto_frontier(rows, objectives=("x", "y"),
+                                                 minimize=("y",))
+
+    def test_add_reports_membership(self):
+        from repro.engine import IncrementalPareto
+
+        inc = IncrementalPareto(objectives=("x", "y"))
+        assert inc.add({"x": 1.0, "y": 1.0}) is True
+        assert inc.add({"x": 0.5, "y": 0.5}) is False   # dominated
+        assert inc.add({"x": 2.0, "y": 2.0}) is True    # evicts (1, 1)
+        assert [r["x"] for r in inc] == [2.0]
+
+    def test_requires_objectives(self):
+        from repro.engine import IncrementalPareto
+
+        with pytest.raises(ValueError, match="objective"):
+            IncrementalPareto(objectives=())
+
+    def test_missing_objective_raises_keyerror(self):
+        from repro.engine import IncrementalPareto
+
+        with pytest.raises(KeyError, match="missing objective"):
+            IncrementalPareto(objectives=("nope",)).add({"x": 1.0})
+
+
+def test_incremental_pareto_equals_batch_property():
+    """Hypothesis: IncrementalPareto == pareto_frontier for random row
+    streams (duplicates, ties and arbitrary orders included)."""
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.engine import IncrementalPareto
+
+    # Small value grids force plenty of dominance and exact duplicates.
+    value = st.integers(min_value=0, max_value=4).map(float)
+    rows = st.lists(st.tuples(value, value, value), min_size=0, max_size=40)
+
+    @settings(max_examples=200, deadline=None)
+    @given(rows=rows, n_objectives=st.integers(2, 3),
+           minimize_y=st.booleans())
+    def check(rows, n_objectives, minimize_y):
+        objectives = ("x", "y", "z")[:n_objectives]
+        minimize = ("y",) if minimize_y else ()
+        dicts = [{"x": x, "y": y, "z": z} for x, y, z in rows]
+        inc = IncrementalPareto(objectives=objectives, minimize=minimize)
+        for row in dicts:
+            inc.add(row)
+        expected = pareto_frontier(dicts, objectives=objectives,
+                                   minimize=minimize)
+        assert inc.frontier() == expected
+
+    check()
+
+
+# ------------------------------------------------- concurrent stats merge
+class TestConcurrentStats:
+    def test_parallel_persist_stats_loses_no_deltas(self, tmp_path):
+        """Many writers folding into one _stats.json keep every delta."""
+        import threading
+
+        writers = 8
+        per_writer = 5
+
+        def persist(_i):
+            cache = ResultCache(tmp_path, code_version="v1")
+            cache.hits = per_writer
+            cache.misses = per_writer
+            cache.persist_stats()
+
+        threads = [threading.Thread(target=persist, args=(i,))
+                   for i in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        final = ResultCache(tmp_path, code_version="v1").lifetime_stats()
+        assert final["hits"] == writers * per_writer
+        assert final["misses"] == writers * per_writer
+
+    def test_corrupt_stats_file_does_not_crash_merge(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        (tmp_path / "_stats.json").write_text("{torn")
+        cache.hits = 3
+        cache.persist_stats()
+        # The garbled history is replaced; the new deltas survive.
+        assert ResultCache(tmp_path, code_version="v1").lifetime_stats()["hits"] == 3
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        import os
+
+        lock = tmp_path / "_stats.lock"
+        lock.write_text("")
+        old = lock.stat().st_atime - 3600
+        os.utime(lock, (old, old))
+        cache = ResultCache(tmp_path, code_version="v1")
+        cache.hits = 2
+        cache.persist_stats()
+        assert cache.lifetime_stats()["hits"] == 2
+        assert not lock.exists()
+
+    def test_contended_lock_defers_merge(self, tmp_path, monkeypatch):
+        from repro.engine import cache as cache_module
+
+        monkeypatch.setattr(cache_module, "_STATS_LOCK_ATTEMPTS", 2)
+        monkeypatch.setattr(cache_module, "_STATS_LOCK_STALE_S", 3600.0)
+        (tmp_path / "_stats.lock").write_text("")  # held by "another" process
+        cache = ResultCache(tmp_path, code_version="v1")
+        cache.hits = 4
+        cache.persist_stats()  # cannot take the lock: deltas stay pending
+        assert not (tmp_path / "_stats.json").exists()
+        (tmp_path / "_stats.lock").unlink()
+        cache.persist_stats()
+        assert cache.lifetime_stats()["hits"] == 4
+
+
+# ----------------------------------------------------- replay sidecar
+class TestReplaySidecar:
+    def _lap_jobs(self, **overrides):
+        base = {"algorithm": "cholesky", "n": 32, "tile": 8, "num_cores": 2,
+                "nr": 4, "seed": 3, "timing": "memoized", "verify": False,
+                "fast": True}
+        base.update(overrides)
+        return [Job.create("lap_runtime", base)]
+
+    def test_sidecar_store_roundtrip(self, tmp_path):
+        from repro.engine import SidecarStore
+
+        store = SidecarStore(tmp_path / "replay", code_version="v1")
+        assert store.get("kind", "mat") is None
+        assert store.put("kind", "mat", {"a": 1}) is not None
+        assert store.get("kind", "mat") == {"a": 1}
+        assert len(store) == 1
+        # A different code version is a different namespace.
+        other = SidecarStore(tmp_path / "replay", code_version="v2")
+        assert other.get("kind", "mat") is None
+        # Corruption degrades to a miss and drops the record.
+        path = store.path_for("kind", "mat")
+        path.write_text("{nope")
+        assert store.get("kind", "mat") is None
+        assert not path.exists()
+
+    def test_sidecar_survives_cache_clear_and_prune(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        execute_jobs(_chip_jobs(n_cores=(4,), bws=(8,)), mode="serial",
+                     cache=cache)
+        sidecar = cache.sidecar()
+        sidecar.put("kind", "mat", {"a": 1})
+        cache.clear()
+        cache.prune(max_entries=0)
+        assert sidecar.get("kind", "mat") == {"a": 1}
+        assert cache.stats()["sidecar"]["entries"] == 1
+
+    def test_replay_shared_across_simulated_processes(self, tmp_path):
+        """A schedule recorded under one process's memo replays in a fresh
+        process (cleared memo) through the cache's replay sidecar, with
+        zero scheduler loops (nothing newly recorded) and identical rows."""
+        from repro.engine.runners import _REPLAY_MEMO, configure_worker
+        from repro.lap.fastpath import REPLAY_STATS
+
+        cache = ResultCache(tmp_path, code_version="v1")
+        try:
+            base = execute_jobs(self._lap_jobs(), mode="serial", cache=cache)
+            assert base.executed == 1
+            assert len(cache.sidecar()) == 1  # recording was published
+
+            _REPLAY_MEMO.clear()  # simulate a brand-new worker process
+            before = dict(REPLAY_STATS)
+            delta_jobs = self._lap_jobs(bandwidth_gbs=64.0)
+            delta = execute_jobs(delta_jobs, mode="serial", cache=cache)
+            after = dict(REPLAY_STATS)
+            assert after["sidecar_loaded"] == before["sidecar_loaded"] + 1
+            assert after["replayed"] == before["replayed"] + 1
+            assert after["recorded"] == before["recorded"]  # 0 scheduler loops
+
+            _REPLAY_MEMO.clear()
+            configure_worker(None)  # no sidecar: the delta must re-simulate
+            resim = execute_jobs(delta_jobs, mode="serial")
+            assert json.dumps(delta.rows) == json.dumps(resim.rows)
+        finally:
+            configure_worker(None)
+            _REPLAY_MEMO.clear()
+
+    def test_uncached_run_leaves_replay_in_process(self, tmp_path):
+        from repro.engine import runners
+        from repro.engine.runners import _REPLAY_MEMO, configure_worker
+
+        try:
+            _REPLAY_MEMO.clear()
+            execute_jobs(self._lap_jobs(seed=9), mode="serial")
+            assert runners._WORKER_SIDECAR is None
+        finally:
+            configure_worker(None)
+            _REPLAY_MEMO.clear()
+
+
 # ------------------------------------------------------------- end-to-end
 def test_serial_and_parallel_sweeps_are_byte_identical(tmp_path):
     """Acceptance: parallel results are byte-identical to serial results."""

@@ -204,6 +204,38 @@ def test_runner_policy_golden_rows_survive_fast():
 
 
 # ----------------------------------------------------------------- replay
+def test_schedule_trace_payload_roundtrip():
+    """The sidecar header round-trips everything `exact_for` depends on."""
+    import json
+
+    from repro.lap.fastpath import ScheduleTrace
+
+    trace = ScheduleTrace(policy="greedy", timing="memoized",
+                          stall_overlap=0.25, effective_bandwidth_gbs=12.5,
+                          default_bandwidth_gbs=16.0,
+                          total_spill_bytes=4096.0,
+                          total_movement_cycles=0.0,
+                          task_ids=[1, 2, 3], cores=[0, 1, 0],
+                          starts=[0.0, 1.0, 2.0], ends=[1.0, 2.0, 3.0])
+    payload = json.loads(json.dumps(trace.to_payload()))  # disk round-trip
+    loaded = ScheduleTrace.from_payload(payload)
+    assert len(loaded) == len(trace) == 3
+    for bandwidth in (None, 12.5, 64.0):
+        for overlap in (0.25, 0.75):
+            assert (loaded.exact_for(bandwidth, overlap)
+                    == trace.exact_for(bandwidth, overlap))
+    # None bandwidth (memory accounting disabled) survives the round trip.
+    nomem = ScheduleTrace(policy="greedy", timing="functional",
+                          stall_overlap=0.0, effective_bandwidth_gbs=None,
+                          default_bandwidth_gbs=16.0, total_spill_bytes=0.0,
+                          total_movement_cycles=0.0, task_ids=[], cores=[],
+                          starts=[], ends=[])
+    again = ScheduleTrace.from_payload(
+        json.loads(json.dumps(nomem.to_payload())))
+    assert again.effective_bandwidth_gbs is None
+    assert again.exact_for(32.0, 0.0)
+
+
 def test_replay_delta_rows_equal_resimulation():
     """A bandwidth/overlap delta point replayed from a recorded schedule is
     byte-identical to re-simulating it, and replay refuses (re-simulates)
