@@ -227,7 +227,15 @@ def _stream_sweep(jobs, args: argparse.Namespace, cache_dir: Optional[str],
     stderr line shows rows done, cache hit-rate and the current frontier
     size while the sweep is still executing.  Returns the same
     ``SweepResult`` the batch path produces.
+
+    Redraws are throttled to ~10 per second (cached warm sweeps can land
+    tens of thousands of rows a second, and unthrottled carriage-return
+    spam dominates their wall time); the final state always renders.  When
+    stderr is not a terminal the carriage-return animation degrades to
+    plain newline-delimited updates, so logs capture readable progress.
     """
+    import time
+
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     executor = SweepExecutor(mode=args.mode, max_workers=args.workers,
                              batch_size=args.batch_size, cache=cache)
@@ -235,6 +243,9 @@ def _stream_sweep(jobs, args: argparse.Namespace, cache_dir: Optional[str],
     stream = executor.stream(jobs)
     done = 0
     hits = 0
+    is_tty = getattr(sys.stderr, "isatty", lambda: False)()
+    min_interval_s = 0.1
+    last_emit = float("-inf")
     try:
         for event in stream:
             done += 1
@@ -242,12 +253,19 @@ def _stream_sweep(jobs, args: argparse.Namespace, cache_dir: Optional[str],
                 hits += 1
             if pareto is not None:
                 pareto.add(event.row)
+            now = time.monotonic()
+            if done != stream.total and now - last_emit < min_interval_s:
+                continue
+            last_emit = now
             frontier = "" if pareto is None else f" | frontier {len(pareto)}"
-            print(f"\r{done}/{stream.total} rows | "
-                  f"{100.0 * hits / done:.0f}% cached{frontier}",
-                  end="", file=sys.stderr, flush=True)
+            line = (f"{done}/{stream.total} rows | "
+                    f"{100.0 * hits / done:.0f}% cached{frontier}")
+            if is_tty:
+                print(f"\r{line}", end="", file=sys.stderr, flush=True)
+            else:
+                print(line, file=sys.stderr, flush=True)
     finally:
-        if done:
+        if done and is_tty:
             print(file=sys.stderr)
     return stream.result()
 
@@ -392,7 +410,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"{key:<14s}: {stats[key]}")
         sidecar = stats["sidecar"]
         print(f"{'replay':<14s}: {sidecar['entries']} sidecar entries, "
-              f"{sidecar['size_bytes']} bytes")
+              f"{sidecar['size_bytes']} bytes, "
+              f"{sidecar['evictions']} pruned (lifetime)")
         lifetime = stats["lifetime"]
         print(f"{'hits':<14s}: {lifetime['hits']} (lifetime)")
         print(f"{'misses':<14s}: {lifetime['misses']} (lifetime)")

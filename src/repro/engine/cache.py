@@ -34,6 +34,11 @@ PathLike = Union[str, pathlib.Path]
 #: Environment variable holding the default cache size budget in megabytes.
 CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
 
+#: Environment variable holding the default replay-sidecar size budget in
+#: megabytes (schedule recordings are pure optimisations, so bounding them
+#: costs only re-simulation, never correctness).
+REPLAY_MAX_MB_ENV = "REPRO_REPLAY_MAX_MB"
+
 #: Enforce the size budget only every this many writes, so large sweeps do
 #: not pay a directory scan per job once the running estimate is warm.
 _ENFORCE_EVERY_PUTS = 32
@@ -97,21 +102,37 @@ class SidecarStore:
     to misses, never to exceptions, because the artifacts it holds can
     always be recomputed.  The store is picklable via :meth:`config` /
     :meth:`from_config` so executors can ship it to worker processes.
+
+    ``max_bytes`` bounds the store: writes beyond the budget evict the
+    least-recently-used records (reads refresh recency).  ``None`` (the
+    default) reads ``REPRO_REPLAY_MAX_MB`` from the environment; when that
+    is also unset the store grows without bound.  Evicting a record only
+    costs a re-simulation on the next matching sweep point, so the budget
+    trades disk for scheduler time.
     """
 
-    def __init__(self, directory: PathLike, code_version: str = "") -> None:
+    def __init__(self, directory: PathLike, code_version: str = "",
+                 max_bytes: Optional[int] = None) -> None:
         self.directory = pathlib.Path(directory).expanduser()
         self.code_version = code_version
+        self.max_bytes = max_bytes if max_bytes is not None else env_replay_max_bytes()
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None for unlimited)")
+        self.evictions = 0
+        self._approx_bytes: Optional[int] = None
+        self._puts_since_enforce = 0
 
     @classmethod
     def from_config(cls, config: Mapping) -> "SidecarStore":
         return cls(directory=config["directory"],
-                   code_version=config.get("code_version", ""))
+                   code_version=config.get("code_version", ""),
+                   max_bytes=config.get("max_bytes"))
 
-    def config(self) -> Dict[str, str]:
+    def config(self) -> Dict[str, object]:
         """Picklable description, for shipping to worker processes."""
         return {"directory": str(self.directory),
-                "code_version": self.code_version}
+                "code_version": self.code_version,
+                "max_bytes": self.max_bytes}
 
     def key_for(self, kind: str, material: str) -> str:
         blob = f"{kind}\n{material}\n{self.code_version}"
@@ -137,6 +158,11 @@ class SidecarStore:
             except OSError:
                 pass
             return None
+        try:
+            # Refresh recency so hot schedules survive LRU eviction.
+            os.utime(path, None)
+        except OSError:
+            pass
         return payload
 
     def put(self, kind: str, material: str,
@@ -158,7 +184,99 @@ class SidecarStore:
             except OSError:
                 pass
             return None
+        self._account_put(path)
         return path
+
+    def _account_put(self, path: pathlib.Path) -> None:
+        """Track the approximate store size and enforce the LRU budget."""
+        if self.max_bytes is None:
+            return
+        try:
+            entry_bytes = path.stat().st_size
+        except OSError:
+            entry_bytes = 0
+        if self._approx_bytes is None:
+            self._approx_bytes = self.size_bytes()
+        else:
+            self._approx_bytes += entry_bytes
+        self._puts_since_enforce += 1
+        if self._puts_since_enforce >= _ENFORCE_EVERY_PUTS:
+            self._puts_since_enforce = 0
+            self._approx_bytes = self.size_bytes()
+        if self._approx_bytes > self.max_bytes:
+            # Evict to the low-water mark, like the result cache, so a
+            # store hovering at the budget does not pay a full prune scan
+            # on every subsequent put.
+            self.prune(max_bytes=max(1, int(self.max_bytes * _LOW_WATER_FRACTION)))
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Evict least-recently-used records until the store fits the budget.
+
+        ``max_bytes`` defaults to the instance budget; with neither set the
+        call is a no-op.  Returns the number of records removed, and folds
+        it into the persisted lifetime eviction counter (so short-lived
+        stores -- one is built per :meth:`ResultCache.sidecar` call --
+        still report their prunes in ``repro cache stats``).
+        """
+        max_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        if max_bytes is None:
+            return 0
+        entries: List[Tuple[float, int, pathlib.Path]] = []
+        for path in self.directory.glob("??/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda item: (item[0], str(item[2])))
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self.evictions += removed
+        self._approx_bytes = total
+        if removed:
+            self._persist_evictions(removed)
+        return removed
+
+    def _evictions_path(self) -> pathlib.Path:
+        # Lives in the sidecar root, outside the ``??/`` record fan-out, so
+        # it is never itself evicted (or counted as an entry).
+        return self.directory / "_evictions.json"
+
+    def _persist_evictions(self, removed: int) -> None:
+        """Fold a prune's removal count into the lifetime counter file.
+
+        Best-effort read-modify-write: concurrent pruners may undercount,
+        which is acceptable for telemetry that only feeds ``cache stats``.
+        """
+        path = self._evictions_path()
+        try:
+            fd, tmp_name = tempfile.mkstemp(dir=str(self.directory),
+                                            suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump({"evictions": self.lifetime_evictions() + removed},
+                          handle)
+            os.replace(tmp_name, path)
+        except OSError:
+            pass
+
+    def lifetime_evictions(self) -> int:
+        """Records pruned from this directory across all store instances."""
+        try:
+            with self._evictions_path().open("r") as handle:
+                payload = json.load(handle)
+            return int(payload["evictions"])
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                KeyError, TypeError, ValueError):
+            return 0
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("??/*.json"))
@@ -183,13 +301,13 @@ class SidecarStore:
         return removed
 
 
-def env_max_bytes() -> Optional[int]:
-    """Cache size budget from ``REPRO_CACHE_MAX_MB``, or ``None`` if unset.
+def _env_budget_bytes(env_name: str, label: str) -> Optional[int]:
+    """A size budget in bytes from a ``<ENV>`` megabyte knob, or ``None``.
 
     An unparsable or non-positive value degrades to "no limit" with a
     warning, mirroring how the other engine environment knobs behave.
     """
-    raw = os.environ.get(CACHE_MAX_MB_ENV)
+    raw = os.environ.get(env_name)
     if raw is None or not raw.strip():
         return None
     import sys
@@ -197,14 +315,24 @@ def env_max_bytes() -> Optional[int]:
     try:
         mbytes = float(raw)
     except ValueError:
-        print(f"warning: {CACHE_MAX_MB_ENV}='{raw}' is not a number; "
-              f"cache size is unlimited", file=sys.stderr)
+        print(f"warning: {env_name}='{raw}' is not a number; "
+              f"{label} size is unlimited", file=sys.stderr)
         return None
     if mbytes <= 0:
-        print(f"warning: {CACHE_MAX_MB_ENV}={mbytes} is not positive; "
-              f"cache size is unlimited", file=sys.stderr)
+        print(f"warning: {env_name}={mbytes} is not positive; "
+              f"{label} size is unlimited", file=sys.stderr)
         return None
     return int(mbytes * 1024 * 1024)
+
+
+def env_max_bytes() -> Optional[int]:
+    """Cache size budget from ``REPRO_CACHE_MAX_MB``, or ``None`` if unset."""
+    return _env_budget_bytes(CACHE_MAX_MB_ENV, "cache")
+
+
+def env_replay_max_bytes() -> Optional[int]:
+    """Replay-sidecar budget from ``REPRO_REPLAY_MAX_MB``, or ``None``."""
+    return _env_budget_bytes(REPLAY_MAX_MB_ENV, "replay sidecar")
 
 
 def usable_cache_dir(cache_dir: Optional[PathLike],
@@ -622,5 +750,7 @@ class ResultCache:
             "size_bytes": size_bytes,
             "max_bytes": self.max_bytes,
             "sidecar": {"entries": len(sidecar),
-                        "size_bytes": sidecar.size_bytes()},
+                        "size_bytes": sidecar.size_bytes(),
+                        "max_bytes": sidecar.max_bytes,
+                        "evictions": sidecar.lifetime_evictions()},
         }

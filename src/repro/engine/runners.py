@@ -63,7 +63,10 @@ RUNNER_VERSIONS: Dict[str, int] = {
     # columns), the affinity policy and the stall_overlap prefetch axis.
     # v5: fast scheduler path (fast param; byte-identical rows) and
     # schedule-replay costing for delta sweeps (replay param).
-    "lap_runtime": 5,
+    # v6: chip-clock (frequency_ghz) and off-chip access-energy
+    # (offchip_pj_per_byte) sweep axes with widened schedule replay
+    # (per-task energy re-keying) and the writeback_bytes execution field.
+    "lap_runtime": 6,
     "blocked_fact": 1,
     "experiment": 1,
 }
@@ -93,7 +96,8 @@ KNOWN_PARAMS: Dict[str, frozenset] = {
                               "onchip_mbytes", "seed", "policy", "timing",
                               "verify", "core_frequencies_ghz", "memory",
                               "on_chip_kb", "bandwidth_gbs", "local_store_kb",
-                              "stall_overlap", "fast", "replay"}),
+                              "stall_overlap", "fast", "replay",
+                              "frequency_ghz", "offchip_pj_per_byte"}),
     "blocked_fact": frozenset({"method", "n", "nr", "seed", "use_extension",
                                "frequency_ghz"}),
     "experiment": frozenset({"exp_id"}),
@@ -187,24 +191,40 @@ def _store_replay_to_sidecar(structural_key: tuple, trace, row: dict) -> None:
         REPLAY_STATS["sidecar_stored"] += 1
 
 
-def _replayed_row(row: dict, stall_overlap, bandwidth_gbs, memory: bool) -> dict:
+def _replayed_row(row: dict, stall_overlap, bandwidth_gbs, memory: bool,
+                  frequency_ghz=None, offchip_pj_per_byte=None,
+                  makespan_ns=None, energy_j=None,
+                  gflops_per_w=None) -> dict:
     """Cached row re-keyed for a replayed sweep point.
 
-    Only the two constants that provably did not change the schedule are
-    patched: the ``stall_overlap`` column (present exactly when the new
-    point sets the parameter, in the position a fresh row gives it) and the
-    effective ``bandwidth_gbs``.  Everything else -- makespan, traffic,
-    energy, residual -- is byte-identical by :meth:`ScheduleTrace.exact_for`.
+    Only the constants that provably did not change the schedule are
+    patched: the gated ``stall_overlap`` / ``frequency_ghz`` /
+    ``offchip_pj_per_byte`` columns (present exactly when the new point
+    sets the parameter, in the position a fresh row gives them), the
+    effective ``bandwidth_gbs``, and -- under a chip-clock or energy
+    delta -- the ``makespan_ns`` / ``energy_j`` / ``gflops_per_w`` values
+    the caller recomputed from the trace.  Everything else is
+    byte-identical by :meth:`ScheduleTrace.exact_for`.
     """
     out = {}
     for key, value in row.items():
-        if key == "stall_overlap":
+        if key in ("stall_overlap", "frequency_ghz", "offchip_pj_per_byte"):
             continue
         out[key] = value
+        if key == "core_frequencies_ghz" and frequency_ghz is not None:
+            out["frequency_ghz"] = frequency_ghz
         if key == "memory" and stall_overlap is not None:
             out["stall_overlap"] = stall_overlap
+        if key == "bandwidth_gbs" and offchip_pj_per_byte is not None:
+            out["offchip_pj_per_byte"] = offchip_pj_per_byte
     if memory:
         out["bandwidth_gbs"] = bandwidth_gbs
+    if makespan_ns is not None:
+        out["makespan_ns"] = makespan_ns
+    if energy_j is not None:
+        out["energy_j"] = energy_j
+    if gflops_per_w is not None:
+        out["gflops_per_w"] = gflops_per_w
     return out
 
 
@@ -513,15 +533,25 @@ def run_lap_runtime(params: Params) -> dict:
     only when their parameter is given, so existing single-level rows stay
     byte-identical.
 
+    ``frequency_ghz`` sets the chip clock (all cores, default 1.0) and
+    ``offchip_pj_per_byte`` overrides the DRAM interface's access energy
+    in pJ/byte; both appear as gated row columns only when given, so
+    existing rows stay byte-identical.
+
     ``fast`` routes scheduling through the inlined hot path of
     :mod:`repro.lap.fastpath` (byte-identical rows, no new columns;
     default off).  ``replay`` controls schedule-replay costing for delta
     sweeps: under ``"auto"`` (the default) every simulated point records a
     :class:`repro.lap.fastpath.ScheduleTrace`, and a later point that
-    differs only in ``bandwidth_gbs`` / ``stall_overlap`` constants which
-    provably cannot change the schedule (zero spill traffic, zero visible
-    movement cycles) reuses the recorded row with just those columns
-    re-keyed; anything else -- or ``replay="off"`` -- re-simulates.
+    differs only in constants which provably cannot change the schedule
+    reuses the recorded row with the affected columns re-keyed:
+    ``bandwidth_gbs`` / ``stall_overlap`` deltas (zero spill traffic,
+    zero visible movement cycles) patch those columns alone, a
+    ``frequency_ghz`` delta (homogeneous cores both sides, zero spill)
+    rescales ``makespan_ns`` from the recorded cycle count, and a
+    frequency or ``offchip_pj_per_byte`` delta re-keys ``energy_j`` /
+    ``gflops_per_w`` from the trace's per-task energy triples; anything
+    else -- or ``replay="off"`` -- re-simulates.
     """
     import numpy as np
 
@@ -552,6 +582,14 @@ def run_lap_runtime(params: Params) -> dict:
     local_store_kb = None if local_store_kb is None else float(local_store_kb)
     stall_overlap = params.get("stall_overlap")
     stall_overlap = None if stall_overlap is None else float(stall_overlap)
+    frequency_ghz = params.get("frequency_ghz")
+    frequency_ghz = None if frequency_ghz is None else float(frequency_ghz)
+    if frequency_ghz is not None and frequency_ghz <= 0:
+        raise ValueError("frequency_ghz must be positive")
+    offchip_pj = params.get("offchip_pj_per_byte")
+    offchip_pj = None if offchip_pj is None else float(offchip_pj)
+    if offchip_pj is not None and offchip_pj < 0:
+        raise ValueError("offchip_pj_per_byte must be non-negative")
     fast = bool(params.get("fast", False))
     replay = str(params.get("replay", "auto")).lower()
     if replay not in ("auto", "off"):
@@ -587,20 +625,61 @@ def run_lap_runtime(params: Params) -> dict:
             effective_bw = (None if not memory
                             else (bandwidth_gbs if bandwidth_gbs is not None
                                   else trace.default_bandwidth_gbs))
+            new_freq = 1.0 if frequency_ghz is None else frequency_ghz
+            new_homog = (frequencies is None
+                         or all(f == new_freq for f in frequencies))
+            new_epoff = (None if not memory
+                         else (offchip_pj * 1e-12 if offchip_pj is not None
+                               else trace.default_offchip_energy_per_byte_j))
             if trace.exact_for(effective_bw,
-                               0.0 if stall_overlap is None else stall_overlap):
+                               0.0 if stall_overlap is None else stall_overlap,
+                               frequency_ghz=new_freq,
+                               homogeneous_cores=new_homog,
+                               offchip_energy_per_byte_j=new_epoff):
                 REPLAY_STATS["replayed"] += 1
+                freq_delta = (trace.frequency_ghz is not None
+                              and new_freq != trace.frequency_ghz)
+                makespan_ns = (trace.makespan_cycles / new_freq
+                               if freq_delta else None)
+                energy_j = gflops_per_w = None
+                if memory and trace.energy_constants is not None:
+                    epf, epon, epoff = trace.energy_constants
+                    if freq_delta or new_epoff != epoff:
+                        if freq_delta:
+                            # The per-flop and per-on-chip-byte constants
+                            # follow the chip's operating point, so rebuild
+                            # them at the new clock before re-keying.
+                            from repro.lap.memory import TaskEnergyModel
+                            lap2 = LinearAlgebraProcessor(LAPConfig(
+                                num_cores=num_cores, nr=nr,
+                                onchip_memory_mbytes=onchip_mbytes,
+                                frequency_ghz=new_freq))
+                            em = TaskEnergyModel(lap2.config.fmac(),
+                                                 lap2.onchip_memory,
+                                                 lap2.offchip)
+                            epf = em.energy_per_flop_j
+                            epon = em.onchip_energy_per_byte_j
+                        energy_j = trace.rekey_energy_j(epf, epon, new_epoff)
+                        flops = float(cached_row["total_flops"])
+                        gflops_per_w = (flops / energy_j / 1e9
+                                        if energy_j > 0 else 0.0)
                 return _replayed_row(cached_row, stall_overlap, effective_bw,
-                                     memory)
+                                     memory, frequency_ghz=frequency_ghz,
+                                     offchip_pj_per_byte=offchip_pj,
+                                     makespan_ns=makespan_ns,
+                                     energy_j=energy_j,
+                                     gflops_per_w=gflops_per_w)
             REPLAY_STATS["forced"] += 1
-    lap = LinearAlgebraProcessor(LAPConfig(num_cores=num_cores, nr=nr,
-                                           onchip_memory_mbytes=onchip_mbytes))
+    lap = LinearAlgebraProcessor(LAPConfig(
+        num_cores=num_cores, nr=nr, onchip_memory_mbytes=onchip_mbytes,
+        frequency_ghz=1.0 if frequency_ghz is None else frequency_ghz))
     runtime = LAPRuntime(lap, tile, policy=policy, timing=timing,
                          core_frequencies_ghz=frequencies, memory=memory,
                          on_chip_kb=on_chip_kb, bandwidth_gbs=bandwidth_gbs,
                          local_store_kb=local_store_kb,
                          stall_overlap=0.0 if stall_overlap is None
-                         else stall_overlap, fast=fast)
+                         else stall_overlap, fast=fast,
+                         offchip_pj_per_byte=offchip_pj)
     rng = np.random.default_rng(seed)
     stats = runtime.run_workload(algorithm, n, rng, verify=verify)
     if algorithm == "gemm":
@@ -626,6 +705,10 @@ def run_lap_runtime(params: Params) -> dict:
         "verify": verify,
         "core_frequencies_ghz": (",".join(f"{f:g}" for f in frequencies)
                                  if frequencies else None),
+    }
+    if frequency_ghz is not None:
+        row["frequency_ghz"] = frequency_ghz
+    row.update({
         "tasks_executed": int(stats["tasks_executed"]),
         "critical_path_tasks": int(graph["critical_path_tasks"]),
         "graph_width": int(graph["width"]),
@@ -639,13 +722,17 @@ def run_lap_runtime(params: Params) -> dict:
         "static_load_balance": static_balance,
         "residual": None if residual is None else float(residual),
         "memory": memory,
-    }
+    })
     if stall_overlap is not None:
         row["stall_overlap"] = stall_overlap
     if memory:
         row.update({
             "on_chip_kb": float(stats["on_chip_capacity_bytes"]) / 1024.0,
             "bandwidth_gbs": float(stats["bandwidth_gbs"]),
+        })
+        if offchip_pj is not None:
+            row["offchip_pj_per_byte"] = offchip_pj
+        row.update({
             "traffic_bytes": int(round(stats["offchip_traffic_bytes"])),
             "compulsory_bytes": int(round(stats["compulsory_bytes"])),
             "spill_bytes": int(round(stats["spill_bytes"])),

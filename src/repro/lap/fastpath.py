@@ -172,6 +172,27 @@ class FastTileResidency:
                 missing.add(access)
         return len(missing) * self.tile_bytes
 
+    def missing_bytes_batch(self, indptr, indices) -> np.ndarray:
+        """Vectorized :meth:`missing_bytes` over a CSR batch of footprints.
+
+        ``indptr`` / ``indices`` describe ``len(indptr) - 1`` interned
+        footprints (e.g. slices of :attr:`GraphArrays.foot_indptr` /
+        ``foot_indices``); entry ``k`` of the returned int64 array equals
+        ``missing_bytes`` of footprint ``k``.  The kernel is one fancy
+        index over the stamp array plus a cumulative sum differenced at the
+        row pointers (``np.add.reduceat`` mishandles empty segments).  The
+        scalar form deduplicates names through a set, so the batch form is
+        equivalent only on duplicate-free footprints -- which is exactly
+        what the graph arrays store.
+        """
+        self._ensure(len(self._interner))
+        stamp = np.fromiter(self._stamp, dtype=np.int64,
+                            count=len(self._stamp))
+        miss = np.where(stamp[indices] < 0, 1, 0)
+        csum = np.zeros(len(miss) + 1, dtype=np.int64)
+        np.cumsum(miss, out=csum[1:])
+        return (csum[indptr[1:]] - csum[indptr[:-1]]) * self.tile_bytes
+
     # ------------------------------------------------------------- updates
     def touch(self, reads, writes) -> Tuple[float, float, float, float]:
         """Reference-equivalent touch over tile names; see ``touch_ids``."""
@@ -353,6 +374,29 @@ class FastLocalStore:
                 held.add(access)
         return len(held) * self.tile_bytes
 
+    def missing_bytes_batch(self, indptr, indices) -> np.ndarray:
+        """Vectorized :meth:`missing_bytes` over a CSR batch of footprints;
+        same kernel and dedup caveat as
+        :meth:`FastTileResidency.missing_bytes_batch`.
+        """
+        self._ensure(len(self._interner))
+        stamp = np.fromiter(self._stamp, dtype=np.int64,
+                            count=len(self._stamp))
+        miss = np.where(stamp[indices] < 0, 1, 0)
+        csum = np.zeros(len(miss) + 1, dtype=np.int64)
+        np.cumsum(miss, out=csum[1:])
+        return (csum[indptr[1:]] - csum[indptr[:-1]]) * self.tile_bytes
+
+    def resident_footprint_bytes_batch(self, indptr, indices) -> np.ndarray:
+        """Vectorized :meth:`resident_footprint_bytes` over a CSR batch."""
+        self._ensure(len(self._interner))
+        stamp = np.fromiter(self._stamp, dtype=np.int64,
+                            count=len(self._stamp))
+        held = np.where(stamp[indices] >= 0, 1, 0)
+        csum = np.zeros(len(held) + 1, dtype=np.int64)
+        np.cumsum(held, out=csum[1:])
+        return (csum[indptr[1:]] - csum[indptr[:-1]]) * self.tile_bytes
+
     # ------------------------------------------------------------- updates
     def touch(self, accesses) -> float:
         """Reference-equivalent touch over tile names; see ``touch_ids``."""
@@ -509,6 +553,15 @@ class GraphArrays:
             self.group.append(gid)
         self.num_groups = len(group_of)
         self.num_out_coords = len(coords)
+        # CSR form of the interned footprints, for the numpy-bulk priority
+        # kernels (missing/resident bytes of many ready candidates in one
+        # call -- see ``missing_bytes_batch`` on the residency classes).
+        self.foot_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum([len(foot) for foot in self.foot_ids],
+                  out=self.foot_indptr[1:])
+        self.foot_indices = np.fromiter(
+            (tid for foot in self.foot_ids for tid in foot), dtype=np.int64,
+            count=int(self.foot_indptr[-1]))
         # Tasks per memoization group: lets the fast loop reconcile the
         # timing model's hit counters in one bulk call per group instead of
         # incrementing a counter per task.
@@ -525,6 +578,10 @@ class GraphArrays:
         # greedy loop; built lazily by execute_fast and keyed so a config
         # change invalidates it.
         self._greedy_meta: Optional[Tuple[Tuple, List[Tuple]]] = None
+        # Negated critical-path ranks per graph position (a pure graph
+        # property under unit weights); built lazily on the first
+        # critical_path execute and reused across sweep points.
+        self._negrank: Optional[List[float]] = None
 
 
 def _uniform_square_tiles(tiles: Dict, t: int) -> bool:
@@ -577,8 +634,14 @@ class ScheduleTrace:
     spill stalls, and the prefetch-overlap fraction only through the
     visible part of ``stall + local transfer`` cycles, so a recorded
     schedule is provably identical to a re-simulation when the respective
-    total is zero (or the constant did not change).  Anything else forces a
-    re-simulation; :data:`REPLAY_STATS` counts both outcomes.
+    total is zero (or the constant did not change).  Two further replayable
+    axes ride on the same argument: the chip clock only scales durations
+    uniformly (exact when both points are homogeneous and no spill stall
+    entered the cycle domain), and energy constants never feed back into
+    dispatch at all -- a delta there re-keys the recorded per-task
+    ``(flops, onchip_bytes, offchip_bytes)`` triples instead of
+    re-simulating.  Anything else forces a re-simulation;
+    :data:`REPLAY_STATS` counts both outcomes.
     """
 
     def __init__(self, policy: str, timing: str, stall_overlap: float,
@@ -587,7 +650,16 @@ class ScheduleTrace:
                  total_spill_bytes: float, total_movement_cycles: float,
                  task_ids: List[int], cores: List[int],
                  starts: List[float], ends: List[float],
-                 num_tasks: Optional[int] = None):
+                 num_tasks: Optional[int] = None,
+                 makespan_cycles: float = 0.0,
+                 frequency_ghz: Optional[float] = 1.0,
+                 homogeneous_cores: bool = True,
+                 energy_constants: Optional[Tuple[float, float, float]] = None,
+                 default_offchip_energy_per_byte_j: float = 60e-12,
+                 flush_writeback_bytes: float = 0.0,
+                 energy_triples: Optional[List[Tuple[float, float,
+                                                     float]]] = None,
+                 energy_triples_thunk=None):
         self.policy = policy
         self.timing = timing
         self.stall_overlap = stall_overlap
@@ -600,6 +672,20 @@ class ScheduleTrace:
         self.starts = starts
         self.ends = ends
         self._num_tasks = num_tasks
+        self.makespan_cycles = makespan_cycles
+        #: Chip clock the schedule was recorded at; ``None`` on headers
+        #: persisted before the field existed (rejects frequency deltas).
+        self.frequency_ghz = frequency_ghz
+        self.homogeneous_cores = homogeneous_cores
+        #: ``(energy_per_flop_j, onchip_j_per_byte, offchip_j_per_byte)``
+        #: the recorded energy was computed with; ``None`` when the run had
+        #: data-movement accounting off.
+        self.energy_constants = energy_constants
+        self.default_offchip_energy_per_byte_j = (
+            default_offchip_energy_per_byte_j)
+        self.flush_writeback_bytes = flush_writeback_bytes
+        self._energy_triples = energy_triples
+        self._triples_thunk = energy_triples_thunk
 
     def __len__(self) -> int:
         if self._num_tasks is not None:
@@ -623,11 +709,27 @@ class ScheduleTrace:
             "total_spill_bytes": self.total_spill_bytes,
             "total_movement_cycles": self.total_movement_cycles,
             "num_tasks": len(self),
+            "makespan_cycles": self.makespan_cycles,
+            "frequency_ghz": self.frequency_ghz,
+            "homogeneous_cores": self.homogeneous_cores,
+            "energy_constants": (None if self.energy_constants is None
+                                 else list(self.energy_constants)),
+            "default_offchip_energy_per_byte_j": (
+                self.default_offchip_energy_per_byte_j),
+            "flush_writeback_bytes": self.flush_writeback_bytes,
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "ScheduleTrace":
-        """Rebuild a (header-only) trace persisted by :meth:`to_payload`."""
+        """Rebuild a (header-only) trace persisted by :meth:`to_payload`.
+
+        The per-task energy triples are never serialised, so a rebuilt
+        trace replays makespan/clock deltas but refuses any point that
+        would need an energy re-key (:meth:`exact_for` returns False and
+        the point re-simulates).  Missing scalar fields take conservative
+        defaults: unknown clock rejects frequency deltas outright.
+        """
+        constants = payload.get("energy_constants")
         return cls(
             policy=str(payload["policy"]),
             timing=str(payload["timing"]),
@@ -640,16 +742,79 @@ class ScheduleTrace:
             total_movement_cycles=float(payload["total_movement_cycles"]),
             task_ids=[], cores=[], starts=[], ends=[],
             num_tasks=int(payload["num_tasks"]),
+            makespan_cycles=float(payload.get("makespan_cycles", 0.0)),
+            frequency_ghz=(None if payload.get("frequency_ghz") is None
+                           else float(payload["frequency_ghz"])),
+            homogeneous_cores=bool(payload.get("homogeneous_cores", False)),
+            energy_constants=(None if constants is None
+                              else tuple(float(v) for v in constants)),
+            default_offchip_energy_per_byte_j=float(
+                payload.get("default_offchip_energy_per_byte_j", 60e-12)),
+            flush_writeback_bytes=float(
+                payload.get("flush_writeback_bytes", 0.0)),
         )
 
+    # --------------------------------------------------- energy re-keying
+    @property
+    def has_energy_triples(self) -> bool:
+        """Whether per-task energy triples are (or can be) materialised."""
+        return (self._energy_triples is not None
+                or self._triples_thunk is not None)
+
+    def energy_triples(self) -> Optional[List[Tuple[float, float, float]]]:
+        """Per-task ``(flops, onchip_bytes, offchip_bytes)`` triples.
+
+        Materialised lazily on first use (the thunk installed by
+        :meth:`LAPRuntime.schedule_trace` reads the recording run's
+        execution rows); ``None`` on header-only traces rebuilt from the
+        sidecar, where an energy re-key forces a re-simulation instead.
+        """
+        if self._energy_triples is None and self._triples_thunk is not None:
+            self._energy_triples = self._triples_thunk()
+            self._triples_thunk = None
+        return self._energy_triples
+
+    def rekey_energy_j(self, energy_per_flop_j: float,
+                       onchip_energy_per_byte_j: float,
+                       offchip_energy_per_byte_j: float) -> float:
+        """Total schedule energy under new constants.
+
+        Re-accumulates the per-task energies left to right with the same
+        association the simulation used (``(fl * epf + on * epon) + off *
+        epoff`` per task, then the end-of-schedule flush writeback), so
+        calling it with the recorded :attr:`energy_constants` reproduces
+        the recorded ``energy_j`` bit for bit.
+        """
+        triples = self.energy_triples()
+        if triples is None:
+            raise ValueError(
+                "per-task energy triples unavailable (header-only trace)")
+        epf = energy_per_flop_j
+        epon = onchip_energy_per_byte_j
+        epoff = offchip_energy_per_byte_j
+        total = 0.0
+        for fl, on, off in triples:
+            total += (fl * epf + on * epon) + off * epoff
+        total += self.flush_writeback_bytes * epoff
+        return total
+
     def exact_for(self, bandwidth_gbs: Optional[float],
-                  stall_overlap: float) -> bool:
+                  stall_overlap: float,
+                  frequency_ghz: Optional[float] = None,
+                  homogeneous_cores: bool = True,
+                  offchip_energy_per_byte_j: Optional[float] = None) -> bool:
         """Whether replaying at the new constants is provably exact.
 
         ``bandwidth_gbs`` is the *effective* bandwidth of the new point
         (the chip default when no override is given); ``None`` means the
         new point has data-movement accounting disabled, where bandwidth
-        cannot matter.
+        cannot matter.  ``frequency_ghz`` is the new point's chip clock
+        (``None`` = don't check the axis), ``homogeneous_cores`` whether
+        every core of the *new* point runs at that clock, and
+        ``offchip_energy_per_byte_j`` the new point's off-chip energy
+        constant (``None`` = don't check).  A frequency delta with memory
+        accounting on, or an off-chip-energy delta, additionally requires
+        the per-task energy triples so the energy column can be re-keyed.
         """
         if (bandwidth_gbs is not None
                 and self.effective_bandwidth_gbs is not None
@@ -658,6 +823,32 @@ class ScheduleTrace:
             return False
         if (stall_overlap != self.stall_overlap
                 and self.total_movement_cycles != 0.0):
+            return False
+        needs_rekey = False
+        if frequency_ghz is not None and frequency_ghz != self.frequency_ghz:
+            # A chip-clock change rescales every task duration by one
+            # common factor, which leaves the dispatch order (and hence the
+            # cycle-domain schedule) untouched only when both points are
+            # homogeneous and no spill stall entered the cycle domain
+            # (stall_cycles = spill_bytes / (bandwidth / clock) moves with
+            # the clock; compute cycles and on-chip transfer cycles do
+            # not).  An unknown recorded clock rejects the axis outright.
+            if self.frequency_ghz is None:
+                return False
+            if not (self.homogeneous_cores and homogeneous_cores):
+                return False
+            if self.total_spill_bytes != 0.0:
+                return False
+            if bandwidth_gbs is not None:
+                # Memory accounting on: the per-flop energy constant moves
+                # with the clock, so the energy column must be re-keyed.
+                needs_rekey = True
+        if offchip_energy_per_byte_j is not None:
+            if self.energy_constants is None:
+                return False
+            if offchip_energy_per_byte_j != self.energy_constants[2]:
+                needs_rekey = True
+        if needs_rekey and not self.has_energy_triples:
             return False
         return True
 
@@ -709,11 +900,13 @@ def execute_fast(runtime, graph: TaskGraph, tiles: Dict,
     homogeneous = runtime._homogeneous
     visible = 1.0 - runtime.stall_overlap
 
-    memory = (MemoryHierarchy.for_chip(runtime.lap, t,
-                                       on_chip_kb=runtime.on_chip_kb,
-                                       bandwidth_gbs=runtime.bandwidth_gbs,
-                                       local_store_kb=runtime.local_store_kb,
-                                       fast=True, interner=ga.interner)
+    memory = (MemoryHierarchy.for_chip(
+        runtime.lap, t,
+        on_chip_kb=runtime.on_chip_kb,
+        bandwidth_gbs=runtime.bandwidth_gbs,
+        local_store_kb=runtime.local_store_kb,
+        fast=True, interner=ga.interner,
+        offchip_pj_per_byte=runtime.offchip_pj_per_byte)
               if runtime.memory_enabled else None)
     runtime.last_memory = memory
     policy.prepare(graph)
@@ -726,7 +919,7 @@ def execute_fast(runtime, graph: TaskGraph, tiles: Dict,
     stores = None
     stall = transfer_cycles = energy = 0.0
     local_hit = transfer_bytes = 0.0
-    refill_b = spill_b = 0
+    refill_b = spill_b = wb_b = 0
     if has_mem:
         res = memory.residency
         stores = memory.local_stores
@@ -770,8 +963,12 @@ def execute_fast(runtime, graph: TaskGraph, tiles: Dict,
         gsig: List = [None] * ga.num_groups
 
     if crit:
-        ranks = policy.ranks
-        negrank = [-ranks.get(tid, 0.0) for tid in ids]
+        negrank = ga._negrank
+        if negrank is None:
+            # Pure graph property (unit-weight critical-path ranks), cached
+            # on the arrays so repeat executes skip the n-element rebuild.
+            negrank = policy.negated_rank_array(ids).tolist()
+            ga._negrank = negrank
 
     core_free: List[float] = [0] * num_cores
     busy_cycles: List[int] = [0] * num_cores
@@ -811,14 +1008,27 @@ def execute_fast(runtime, graph: TaskGraph, tiles: Dict,
     cur_version = (res.version + memory._local_version if has_mem else 0)
     local_version = memory._local_version if has_mem else 0
     heap: List[Tuple] = []
-    for i in range(n):
-        if indeg[i] == 0:
-            if dynamic:
-                heappush(heap, (prio(i, 0), ids[i], cur_version, i))
-            elif crit:
-                heappush(heap, (negrank[i], 0, ids[i], i))
-            else:
-                heappush(heap, (0, ids[i], i))
+    if dynamic:
+        # Bulk-score the whole initial ready set in one numpy pass (the
+        # policy's batch kernel over the CSR footprints) instead of one
+        # Python footprint walk per root.  The keys are element-for-element
+        # equal to the scalar ``prio`` tuples and ``(key, task_id)`` is
+        # unique per entry, so heapify produces the same pop sequence as
+        # repeated pushes.
+        ready0 = [i for i in range(n) if indeg[i] == 0]
+        keys = policy.bulk_priorities(ga, memory, ready0, [0] * len(ready0))
+        if keys is None:
+            keys = [prio(i, 0) for i in ready0]
+        heap = [(keys[k], ids[i], cur_version, i)
+                for k, i in enumerate(ready0)]
+        heapq.heapify(heap)
+    else:
+        for i in range(n):
+            if indeg[i] == 0:
+                if crit:
+                    heappush(heap, (negrank[i], 0, ids[i], i))
+                else:
+                    heappush(heap, (0, ids[i], i))
 
     # -- specialized loop for the dominant benchmark shape ------------------
     # Static greedy policy, homogeneous cores, memoized group table, shared
@@ -938,7 +1148,7 @@ def execute_fast(runtime, graph: TaskGraph, tiles: Dict,
             tot_wb += wb_b
             core_free[c] = end
             busy_cycles[c] += cycles
-            rows_append((i, c, start, end, refill_b, energy, spill_b))
+            rows_append((i, c, start, end, refill_b, energy, spill_b, wb_b))
             for j in sucs:
                 jj = j + j
                 rj = ri[jj]
@@ -958,8 +1168,9 @@ def execute_fast(runtime, graph: TaskGraph, tiles: Dict,
             return [TaskExecution(ids[i], kinds[i], c, start, end,
                                   (sb / bpc) if sb else 0.0,
                                   float(rb), energy, 0.0, 0.0,
-                                  gtable[group[i]], float(sb), 0.0)
-                    for i, c, start, end, rb, energy, sb in rows]
+                                  gtable[group[i]], float(sb), 0.0,
+                                  float(wbb))
+                    for i, c, start, end, rb, energy, sb, wbb in rows]
 
     affinity_cores = pcode == 4 and stores is not None
     owner_cores = pcode in (2, 3)
@@ -1153,7 +1364,7 @@ def execute_fast(runtime, graph: TaskGraph, tiles: Dict,
             owner[out_id[i]] = c
         rows_append((ids[i], kinds[i], c, start, end, stall, float(refill_b),
                      energy, transfer_cycles, local_hit, compute_duration,
-                     float(spill_b), transfer_bytes))
+                     float(spill_b), transfer_bytes, float(wb_b)))
 
         for j in succ[i]:
             rj = ready[j]

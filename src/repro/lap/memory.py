@@ -113,6 +113,10 @@ class TaskMemoryEvent:
     shared_to_local_bytes: float = 0.0
     c2c_bytes: float = 0.0
     local_transfer_cycles: float = 0.0
+    #: Bytes of on-chip SRAM accesses the energy model charged for this
+    #: task (operand footprint plus any local-fill transfer bytes); the
+    #: second factor of the per-task energy triple a ScheduleTrace re-keys.
+    onchip_bytes: float = 0.0
 
     @property
     def offchip_bytes(self) -> float:
@@ -436,6 +440,10 @@ class MemoryHierarchy:
         self.shared_to_local_bytes = 0.0
         self.c2c_bytes = 0.0
         self.local_transfer_cycles = 0.0
+        #: Bytes the end-of-schedule flush wrote back (set by finish());
+        #: recorded on the ScheduleTrace so energy re-keys can reproduce the
+        #: flush term.
+        self.flush_writeback_bytes = 0.0
         self._local_version = 0
         self._flushed = False
 
@@ -445,23 +453,33 @@ class MemoryHierarchy:
                  bandwidth_gbs: Optional[float] = None,
                  local_store_kb: Optional[float] = None,
                  fast: bool = False,
-                 interner=None) -> "MemoryHierarchy":
+                 interner=None,
+                 offchip_pj_per_byte: Optional[float] = None) -> "MemoryHierarchy":
         """Build the hierarchy of one chip, with optional capacity/BW overrides.
 
         ``on_chip_kb`` shrinks (or grows) the residency capacity relative to
         the chip's physical on-chip memory -- the axis the capacity sweeps
         move; ``bandwidth_gbs`` overrides the sustained off-chip bandwidth;
         ``local_store_kb`` enables the per-core second level with the given
-        per-core budget.  Energy coefficients always come from the chip's
+        per-core budget; ``offchip_pj_per_byte`` overrides the off-chip
+        interface's access energy (pJ/byte, a DRAM-technology sweep axis).
+        The remaining energy coefficients always come from the chip's
         component models.
         """
         cfg = lap.config
         capacity = (cfg.onchip_memory_mbytes * 1024 * 1024
                     if on_chip_kb is None else float(on_chip_kb) * 1024)
-        interface = (lap.offchip if bandwidth_gbs is None
-                     else OffChipInterface(
-                         bandwidth_gbytes_per_sec=float(bandwidth_gbs),
-                         energy_per_byte_j=lap.offchip.energy_per_byte_j))
+        if bandwidth_gbs is None and offchip_pj_per_byte is None:
+            interface = lap.offchip
+        else:
+            interface = OffChipInterface(
+                bandwidth_gbytes_per_sec=(
+                    lap.offchip.bandwidth_gbytes_per_sec
+                    if bandwidth_gbs is None else float(bandwidth_gbs)),
+                energy_per_byte_j=(
+                    lap.offchip.energy_per_byte_j
+                    if offchip_pj_per_byte is None
+                    else float(offchip_pj_per_byte) * 1e-12))
         fmac = cfg.fmac()
         return cls(capacity_bytes=capacity, tile=tile,
                    element_bytes=cfg.element_bytes, interface=interface,
@@ -584,7 +602,8 @@ class MemoryHierarchy:
                                 local_hit_bytes=local_hit,
                                 shared_to_local_bytes=shared_fill,
                                 c2c_bytes=c2c,
-                                local_transfer_cycles=transfer_cycles)
+                                local_transfer_cycles=transfer_cycles,
+                                onchip_bytes=onchip_bytes)
         self.events.append(event)
         self.total_flops += flops
         self.total_energy_j += energy
@@ -604,6 +623,7 @@ class MemoryHierarchy:
             return 0.0
         self._flushed = True
         writeback = self.residency.flush()
+        self.flush_writeback_bytes = writeback
         self.writeback_bytes += writeback
         self.total_energy_j += self.energy.task_energy_j(0.0, 0.0, writeback)
         return writeback

@@ -127,6 +127,20 @@ class CriticalPathPriority(SchedulerPolicy):
         # Longest chain first; among equal ranks fall back to greedy order.
         return (-self._rank.get(task.task_id, 0.0), ready_time)
 
+    def negated_rank_array(self, task_ids: Sequence[int]):
+        """Vectorized ``-rank`` per task id, for the fast scheduler loop.
+
+        One ``np.fromiter`` pass over the prepared rank dict; missing ids
+        score 0.0 exactly like :meth:`priority`, and negating after the
+        gather produces the same floats as negating each lookup.
+        """
+        import numpy as np
+
+        get = self._rank.get
+        arr = np.fromiter((get(tid, 0.0) for tid in task_ids),
+                          dtype=np.float64, count=len(task_ids))
+        return np.negative(arr)
+
 
 class LocalityAware(SchedulerPolicy):
     """Prefer the core already holding a task's output tile.
@@ -190,6 +204,58 @@ class MemoryAware(LocalityAware):
                 task, self._assigned_core(task))
             return (missing, local, ready_time)
         return (missing, ready_time)
+
+    def bulk_priorities(self, arrays, memory, indices: Sequence[int],
+                        ready_times: Sequence,
+                        assigned_cores=None):
+        """Vectorized :meth:`priority` over many candidate tasks at once.
+
+        ``arrays`` is the graph's :class:`repro.lap.fastpath.GraphArrays`,
+        ``indices`` graph positions (not task ids), ``ready_times`` the
+        per-candidate ready times (entering the key tuples unchanged), and
+        ``assigned_cores`` the per-candidate local-store index of the
+        two-level tie-break term (``None`` = core 0 for every candidate,
+        the pre-ownership default of :meth:`_assigned_core`).  Footprints
+        are gathered into one flat CSR batch and scored by the residency
+        classes' batch kernels; the returned key tuples are
+        element-for-element equal to the scalar :meth:`priority` keys
+        (plain Python ints, same ordering semantics).  Returns ``None``
+        when ``memory`` is not the fast SoA hierarchy -- callers then fall
+        back to scalar scoring.
+        """
+        if memory is None or not getattr(memory, "fast", False):
+            return None
+        if not indices:
+            return []
+        import numpy as np
+
+        idx = np.asarray(indices, dtype=np.int64)
+        indptr = arrays.foot_indptr
+        counts = indptr[idx + 1] - indptr[idx]
+        sub_indptr = np.zeros(len(idx) + 1, dtype=np.int64)
+        np.cumsum(counts, out=sub_indptr[1:])
+        total = int(sub_indptr[-1])
+        # Gather each candidate's footprint slice: position arithmetic in
+        # numpy, then one fancy index for the payload.
+        offsets = (np.arange(total, dtype=np.int64)
+                   - np.repeat(sub_indptr[:-1], counts)
+                   + np.repeat(indptr[idx], counts))
+        flat = arrays.foot_indices[offsets]
+        missing = memory.residency.missing_bytes_batch(sub_indptr, flat)
+        stores = getattr(memory, "local_stores", None)
+        if stores is None:
+            return [(int(m), r) for m, r in zip(missing, ready_times)]
+        if assigned_cores is None:
+            local = stores[0].missing_bytes_batch(sub_indptr, flat)
+        else:
+            cores_arr = np.asarray(assigned_cores, dtype=np.int64)
+            local = np.zeros(len(idx), dtype=np.int64)
+            for ci in sorted(set(int(c) for c in cores_arr)):
+                vals = stores[ci].missing_bytes_batch(sub_indptr, flat)
+                mask = cores_arr == ci
+                local[mask] = vals[mask]
+        return [(int(m), int(lo), r)
+                for m, lo, r in zip(missing, local, ready_times)]
 
 
 class AffinityScheduler(MemoryAware):

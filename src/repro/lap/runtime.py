@@ -99,6 +99,10 @@ class TaskExecution:
     compute_cycles: float = 0.0
     spill_bytes: float = 0.0
     transfer_bytes: float = 0.0
+    #: Dirty-eviction bytes this task's fetches forced; with
+    #: ``refill_bytes`` it gives the task's off-chip bytes, the third
+    #: factor of the per-task energy triple schedule replay re-keys.
+    writeback_bytes: float = 0.0
 
     @property
     def cycles(self) -> float:
@@ -162,6 +166,11 @@ class LAPRuntime:
     bandwidth_gbs:
         Override of the sustained off-chip bandwidth in GB/s (defaults to
         the chip's off-chip interface).
+    offchip_pj_per_byte:
+        Override of the off-chip interface's access energy in pJ/byte (a
+        DRAM-technology sweep axis; defaults to the chip interface's
+        constant).  Only the energy/GFLOPS-per-W columns depend on it, so
+        sweeps across it replay recorded schedules exactly.
     local_store_kb:
         Per-core local-store budget in KiB; enables the two-level hierarchy
         (a per-core :class:`repro.lap.memory.LocalStore` above the shared
@@ -200,7 +209,8 @@ class LAPRuntime:
                  local_store_kb: Optional[float] = None,
                  stall_overlap: float = 0.0,
                  tracer: Optional[Tracer] = None,
-                 fast: bool = False):
+                 fast: bool = False,
+                 offchip_pj_per_byte: Optional[float] = None):
         self.lap = lap
         self.tile = tile
         self.library = AlgorithmsByBlocks(tile, nr=lap.config.nr)
@@ -211,6 +221,13 @@ class LAPRuntime:
         self.bandwidth_gbs = bandwidth_gbs
         self.local_store_kb = (None if local_store_kb is None
                                else float(local_store_kb))
+        #: Off-chip access-energy override in pJ/byte (a DRAM-technology
+        #: sweep axis); ``None`` keeps the chip interface's constant.  Only
+        #: the energy column depends on it, never the schedule.
+        self.offchip_pj_per_byte = (None if offchip_pj_per_byte is None
+                                    else float(offchip_pj_per_byte))
+        if self.offchip_pj_per_byte is not None and self.offchip_pj_per_byte < 0:
+            raise ValueError("offchip_pj_per_byte must be non-negative")
         if not (0.0 <= stall_overlap <= 1.0):
             raise ValueError("stall_overlap must lie in [0, 1]")
         self.stall_overlap = float(stall_overlap)
@@ -240,6 +257,10 @@ class LAPRuntime:
         self._executions: Optional[List[TaskExecution]] = []
         self._exec_rows: Optional[List[Tuple]] = None
         self._exec_build: Optional[Callable[[], List[TaskExecution]]] = None
+        #: Graph of the most recent ``execute()`` call when it was a
+        #: TaskGraph (lets schedule_trace derive per-task energy triples on
+        #: the fast path, whose memory events are never materialised).
+        self._last_graph: Optional[TaskGraph] = None
 
     @property
     def executions(self) -> List[TaskExecution]:
@@ -489,6 +510,7 @@ class LAPRuntime:
         policy class, no enabled tracer) is routed through the inlined loop
         of :mod:`repro.lap.fastpath`, which produces byte-identical results.
         """
+        self._last_graph = tasks if isinstance(tasks, TaskGraph) else None
         if (self.fast and isinstance(tasks, TaskGraph)
                 and (self.tracer is None or not self.tracer.enabled)
                 and type(self.policy) in _POLICY_CODES):
@@ -512,10 +534,12 @@ class LAPRuntime:
                 # Unknown dependency ids can never complete; the task stays
                 # unscheduled and the deadlock check below reports it.
 
-        memory = (MemoryHierarchy.for_chip(self.lap, self.tile,
-                                           on_chip_kb=self.on_chip_kb,
-                                           bandwidth_gbs=self.bandwidth_gbs,
-                                           local_store_kb=self.local_store_kb)
+        memory = (MemoryHierarchy.for_chip(
+            self.lap, self.tile,
+            on_chip_kb=self.on_chip_kb,
+            bandwidth_gbs=self.bandwidth_gbs,
+            local_store_kb=self.local_store_kb,
+            offchip_pj_per_byte=self.offchip_pj_per_byte)
                   if self.memory_enabled else None)
         tracer = (self.tracer if self.tracer is not None and self.tracer.enabled
                   else None)
@@ -573,7 +597,7 @@ class LAPRuntime:
             compute_duration = duration
             stall = 0.0
             refill = energy = local_cycles = local_hit = 0.0
-            spill_b = transfer_b = 0.0
+            spill_b = transfer_b = writeback_b = 0.0
             event = None
             if memory is not None:
                 event = memory.account(task, core_index)
@@ -584,6 +608,7 @@ class LAPRuntime:
                 local_hit = event.local_hit_bytes
                 spill_b = event.spill_refill_bytes
                 transfer_b = event.shared_to_local_bytes + event.c2c_bytes
+                writeback_b = event.writeback_bytes
                 duration = compose_task_cycles(duration, stall,
                                                self.stall_overlap,
                                                local_cycles)
@@ -605,7 +630,8 @@ class LAPRuntime:
                                             local_hit_bytes=local_hit,
                                             compute_cycles=compute_duration,
                                             spill_bytes=spill_b,
-                                            transfer_bytes=transfer_b))
+                                            transfer_bytes=transfer_b,
+                                            writeback_bytes=writeback_b))
             if tracer is not None:
                 decomposition = decompose_task_cycles(
                     compute_duration, stall, self.stall_overlap, local_cycles)
@@ -681,13 +707,51 @@ class LAPRuntime:
         """Replayable record of the most recent ``execute()`` call.
 
         Captures the dispatch outcome plus the movement totals that decide
-        when a sweep point differing only in bandwidth / prefetch-overlap
-        constants can reuse this schedule exactly instead of re-simulating
-        (see :class:`repro.lap.fastpath.ScheduleTrace` and the
-        ``lap_runtime`` runner's replay fast path).
+        when a sweep point differing only in bandwidth / prefetch-overlap /
+        chip-clock / off-chip-energy constants can reuse this schedule
+        exactly instead of re-simulating (see
+        :class:`repro.lap.fastpath.ScheduleTrace` and the ``lap_runtime``
+        runner's replay fast path).  With memory accounting on, the trace
+        also carries a lazy thunk producing per-task ``(flops,
+        onchip_bytes, offchip_bytes)`` energy triples, so energy-constant
+        deltas re-key the energy column per task instead of re-simulating:
+        the reference loop derives them from the recorded memory events,
+        the fast loop (which never materialises events) from the execution
+        rows plus the graph's footprint arrays.
         """
         memory = self.last_memory
         rows = self.executions
+        energy_constants = None
+        flush_wb = 0.0
+        triples_thunk = None
+        if memory is not None:
+            energy = memory.energy
+            energy_constants = (energy.energy_per_flop_j,
+                                energy.onchip_energy_per_byte_j,
+                                energy.offchip_energy_per_byte_j)
+            flush_wb = memory.flush_writeback_bytes
+            if memory.events:
+                events = list(memory.events)
+
+                def triples_thunk(events=events):
+                    return [(e.flops, e.onchip_bytes,
+                             e.refill_bytes + e.writeback_bytes)
+                            for e in events]
+            elif rows and self._last_graph is not None:
+                arrays = self._last_graph.fast_arrays()
+                tile = self.tile
+                tile_bytes = memory.residency.tile_bytes
+
+                def triples_thunk(rows=rows, arrays=arrays, tile=tile,
+                                  tile_bytes=tile_bytes):
+                    from repro.lap.taskgraph import _TASK_FLOPS
+                    id2idx = arrays.id2idx
+                    rw_len = arrays.rw_len
+                    return [(_TASK_FLOPS[e.kind](tile),
+                             rw_len[id2idx[e.task_id]] * tile_bytes
+                             + e.transfer_bytes,
+                             e.refill_bytes + e.writeback_bytes)
+                            for e in rows]
         return ScheduleTrace(
             policy=self.policy.name,
             timing=self.timing.name,
@@ -704,7 +768,15 @@ class LAPRuntime:
             task_ids=[e.task_id for e in rows],
             cores=[e.core_index for e in rows],
             starts=[e.start_cycle for e in rows],
-            ends=[e.end_cycle for e in rows])
+            ends=[e.end_cycle for e in rows],
+            makespan_cycles=self.last_makespan,
+            frequency_ghz=self.lap.config.frequency_ghz,
+            homogeneous_cores=self._homogeneous,
+            energy_constants=energy_constants,
+            default_offchip_energy_per_byte_j=(
+                self.lap.offchip.energy_per_byte_j),
+            flush_writeback_bytes=flush_wb,
+            energy_triples_thunk=triples_thunk)
 
     # ------------------------------------------------------- whole problems
     def run_blocked_gemm(self, n: int, rng: np.random.Generator,

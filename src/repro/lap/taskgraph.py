@@ -209,6 +209,7 @@ class TaskGraph(collections.abc.Sequence):
         self._levels: Optional[List[List[int]]] = None
         self._fast_arrays = None
         self._summary: Optional[Dict[str, object]] = None
+        self._unit_cpl: Optional[Dict[int, float]] = None
 
     # -------------------------------------------------------- sequence API
     def __len__(self) -> int:
@@ -281,8 +282,12 @@ class TaskGraph(collections.abc.Sequence):
 
         With the default unit weight the value is the number of tasks on the
         longest downstream chain; pass ``weight`` to use estimated cycles.
-        Used by the critical-path scheduling policy.
+        Used by the critical-path scheduling policy.  The unit-weight result
+        is cached on the (immutable) graph since every ``prepare()`` of the
+        critical-path policy asks for it; callers must not mutate it.
         """
+        if weight is None and self._unit_cpl is not None:
+            return self._unit_cpl
         lengths: Dict[int, float] = {}
         for level in reversed(self.levels()):
             for tid in level:
@@ -290,6 +295,8 @@ class TaskGraph(collections.abc.Sequence):
                 w = 1.0 if weight is None else float(weight(task))
                 down = max((lengths[s] for s in self._successors[tid]), default=0.0)
                 lengths[tid] = w + down
+        if weight is None:
+            self._unit_cpl = lengths
         return lengths
 
     def critical_path_length(

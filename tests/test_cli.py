@@ -506,6 +506,18 @@ def test_sweep_stream_live_progress_and_manifest(tmp_path, capsys):
     assert "streaming     : first row" in capsys.readouterr().out
 
 
+def test_sweep_stream_non_tty_emits_newline_updates(tmp_path, capsys):
+    """Captured (non-TTY) stderr gets plain newline-delimited progress --
+    no carriage-return animation -- and the final state always renders,
+    even when 10 Hz throttling swallows intermediate redraws."""
+    assert main(["sweep", "--runner", "design", "--grid", "cores=4,8,16",
+                 "--no-cache", "--stream", "--json", os.devnull]) == 0
+    err = capsys.readouterr().err
+    assert "\r" not in err
+    lines = [line for line in err.splitlines() if "rows" in line]
+    assert lines and lines[-1].startswith("3/3 rows")
+
+
 def test_sweep_stream_rows_match_batch(tmp_path, capsys):
     batch = ["sweep", "--runner", "design", "--grid", "cores=4,8",
              "--no-cache", "--json", "-"]

@@ -763,6 +763,86 @@ class TestReplaySidecar:
             configure_worker(None)
             _REPLAY_MEMO.clear()
 
+    def test_sidecar_budget_prunes_lru(self, tmp_path, monkeypatch):
+        """The replay sidecar evicts least-recently-used records past its
+        byte budget, persists the pruned count for `cache stats`, and reads
+        its default budget from REPRO_REPLAY_MAX_MB."""
+        import os
+
+        from repro.engine import SidecarStore
+        from repro.engine.cache import REPLAY_MAX_MB_ENV
+
+        monkeypatch.delenv(REPLAY_MAX_MB_ENV, raising=False)
+        root = tmp_path / "replay"
+        unbounded = SidecarStore(root, code_version="v1")
+        assert unbounded.max_bytes is None
+        paths = []
+        for i in range(4):
+            path = unbounded.put("kind", f"mat{i}", {"pad": "x" * 400})
+            os.utime(path, (i + 1.0, i + 1.0))  # deterministic LRU order
+            paths.append(path)
+
+        store = SidecarStore(root, code_version="v1", max_bytes=1200)
+        removed = store.prune()
+        assert removed == 2
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[3].exists()
+        assert store.size_bytes() <= 1200
+        assert store.evictions == removed
+        # Writes enforce the budget themselves (no explicit prune needed).
+        big = store.put("kind", "big", {"pad": "y" * 800})
+        assert big.exists()
+        assert store.size_bytes() <= 1200
+        # The lifetime counter survives into fresh instances and the cache
+        # stats block (one store is built per ``sidecar()`` call).
+        assert SidecarStore(root).lifetime_evictions() == store.evictions
+        cache = ResultCache(tmp_path, code_version="v1")
+        assert cache.stats()["sidecar"]["evictions"] == store.evictions
+        # A get() refreshes recency so hot records survive later prunes.
+        assert store.get("kind", "big") is not None
+        # Environment knob: megabytes, with junk degrading to unlimited.
+        monkeypatch.setenv(REPLAY_MAX_MB_ENV, "2")
+        assert SidecarStore(root).max_bytes == 2 * 1024 * 1024
+        monkeypatch.setenv(REPLAY_MAX_MB_ENV, "junk")
+        assert SidecarStore(root).max_bytes is None
+
+    def test_changed_code_fingerprint_orphans_sidecar(self, tmp_path):
+        """A schedule recorded under one code fingerprint is invisible to a
+        cache stamped with another (the sidecar key includes the code
+        version), so new runner code never replays stale schedules; the
+        re-simulation republishes under the new fingerprint."""
+        from repro.engine.runners import _REPLAY_MEMO, configure_worker
+        from repro.lap.fastpath import REPLAY_STATS
+
+        try:
+            old = ResultCache(tmp_path, code_version="fp-old")
+            execute_jobs(self._lap_jobs(seed=15), mode="serial", cache=old)
+            assert len(old.sidecar()) == 1
+
+            _REPLAY_MEMO.clear()
+            new = ResultCache(tmp_path, code_version="fp-new")
+            before = dict(REPLAY_STATS)
+            execute_jobs(self._lap_jobs(seed=15, bandwidth_gbs=64.0),
+                         mode="serial", cache=new)
+            after = dict(REPLAY_STATS)
+            # Orphaned: nothing loaded from the old namespace, a full
+            # scheduler run happened and was republished under fp-new.
+            assert after["sidecar_loaded"] == before["sidecar_loaded"]
+            assert after["recorded"] == before["recorded"] + 1
+            assert after["sidecar_stored"] == before["sidecar_stored"] + 1
+
+            _REPLAY_MEMO.clear()
+            before = dict(REPLAY_STATS)
+            execute_jobs(self._lap_jobs(seed=15, bandwidth_gbs=32.0),
+                         mode="serial", cache=new)
+            after = dict(REPLAY_STATS)
+            # The fp-new namespace works: the next delta replays from it.
+            assert after["sidecar_loaded"] == before["sidecar_loaded"] + 1
+            assert after["replayed"] == before["replayed"] + 1
+        finally:
+            configure_worker(None)
+            _REPLAY_MEMO.clear()
+
     def test_uncached_run_leaves_replay_in_process(self, tmp_path):
         from repro.engine import runners
         from repro.engine.runners import _REPLAY_MEMO, configure_worker

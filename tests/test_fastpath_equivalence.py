@@ -7,9 +7,11 @@ field by field (values and Python types), same cycle attribution, same
 schedule trace -- or downstream sweeps silently fork.  This suite pins that
 contract:
 
-* the full matrix of all four algorithms-by-blocks workloads x
-  {greedy, memory_aware, affinity} x {single-level, two-level} hierarchies
-  under constrained capacity (spills, stalls and writebacks exercised);
+* the full matrix of all four algorithms-by-blocks workloads x all five
+  scheduling policies x {single-level, two-level} hierarchies under
+  constrained capacity (spills, stalls and writebacks exercised);
+* the SoA batch kernels (CSR ``missing_bytes`` / resident-footprint
+  scoring) against their scalar oracles on random residency states;
 * the specialized greedy single-level loop (the million-task path) and its
   lazily-built execution records;
 * verify=True (numerically exact tiles) and heterogeneous-frequency /
@@ -24,6 +26,8 @@ import pathlib
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.engine.runners import get_runner
 from repro.lap.chip import LAPConfig, LinearAlgebraProcessor
@@ -32,7 +36,7 @@ from repro.lap.taskgraph import AlgorithmsByBlocks
 
 TILE = 8
 SIZES = {"cholesky": 40, "gemm": 32, "lu": 40, "qr": 32}
-POLICIES = ["greedy", "memory_aware", "affinity"]
+POLICIES = ["greedy", "critical_path", "locality", "memory_aware", "affinity"]
 #: local_store_kb=None is the single-level hierarchy, 1.0 the two-level one.
 LEVELS = [None, 1.0]
 
@@ -96,6 +100,19 @@ def assert_runs_identical(ref_rt, fast_rt, graph, verify=False):
     assert ref_trace.ends == fast_trace.ends
     assert ref_trace.total_spill_bytes == fast_trace.total_spill_bytes
     assert ref_trace.total_movement_cycles == fast_trace.total_movement_cycles
+    assert ref_trace.makespan_cycles == fast_trace.makespan_cycles
+    assert ref_trace.frequency_ghz == fast_trace.frequency_ghz
+    assert ref_trace.homogeneous_cores == fast_trace.homogeneous_cores
+    assert ref_trace.energy_constants == fast_trace.energy_constants
+    assert ref_trace.flush_writeback_bytes == fast_trace.flush_writeback_bytes
+    if ref_trace.energy_constants is not None:
+        # Both paths' per-task energy triples must re-key the energy column
+        # bit for bit at the recorded constants -- the identity every replay
+        # delta builds on.
+        expected = ref_stats["energy_j"]
+        assert ref_trace.rekey_energy_j(*ref_trace.energy_constants) == expected
+        assert (fast_trace.rekey_energy_j(*fast_trace.energy_constants)
+                == expected)
     return ref_stats
 
 
@@ -203,6 +220,101 @@ def test_runner_policy_golden_rows_survive_fast():
         assert fast_row["tasks_executed"] == row["tasks"]
 
 
+# ------------------------------------------ SoA batch kernels vs scalar oracle
+TILE_BYTES = TILE * TILE * 8
+
+
+def _tile_names(ids):
+    return [("T", int(i)) for i in ids]
+
+
+@st.composite
+def residency_cases(draw):
+    """A random residency state plus a random CSR batch of footprints."""
+    ntiles = draw(st.integers(min_value=1, max_value=24))
+    touches = draw(st.lists(
+        st.lists(st.integers(0, ntiles - 1), min_size=1, max_size=6,
+                 unique=True), min_size=0, max_size=12))
+    foots = draw(st.lists(
+        st.lists(st.integers(0, ntiles - 1), min_size=0, max_size=8,
+                 unique=True), min_size=1, max_size=10))
+    capacity_tiles = draw(st.integers(min_value=1, max_value=ntiles + 2))
+    return ntiles, touches, foots, capacity_tiles
+
+
+def _csr_batch(foots, interner, ntiles):
+    """Intern every tile, then lay the footprints out as one CSR batch."""
+    ids = [interner.intern(name) for name in _tile_names(range(ntiles))]
+    indptr = np.zeros(len(foots) + 1, dtype=np.int64)
+    np.cumsum([len(f) for f in foots], out=indptr[1:])
+    indices = np.fromiter((ids[i] for f in foots for i in f),
+                          dtype=np.int64, count=int(indptr[-1]))
+    return indptr, indices
+
+
+@given(residency_cases())
+@settings(max_examples=60, deadline=None)
+def test_residency_missing_bytes_batch_matches_scalar(case):
+    from repro.lap.fastpath import FastTileResidency
+
+    ntiles, touches, foots, cap = case
+    res = FastTileResidency(cap * TILE_BYTES, TILE_BYTES)
+    for foot in touches:
+        res.touch(_tile_names(foot), [])
+    indptr, indices = _csr_batch(foots, res._interner, ntiles)
+    batch = res.missing_bytes_batch(indptr, indices)
+    assert batch.tolist() == [res.missing_bytes(_tile_names(f))
+                              for f in foots]
+
+
+@given(residency_cases())
+@settings(max_examples=60, deadline=None)
+def test_local_store_batch_kernels_match_scalar(case):
+    from repro.lap.fastpath import FastLocalStore
+
+    ntiles, touches, foots, cap = case
+    store = FastLocalStore(cap * TILE_BYTES, TILE_BYTES)
+    for foot in touches:
+        store.touch(_tile_names(foot))
+    indptr, indices = _csr_batch(foots, store._interner, ntiles)
+    missing = store.missing_bytes_batch(indptr, indices)
+    held = store.resident_footprint_bytes_batch(indptr, indices)
+    assert missing.tolist() == [store.missing_bytes(_tile_names(f))
+                                for f in foots]
+    assert held.tolist() == [store.resident_footprint_bytes(_tile_names(f))
+                             for f in foots]
+    # Complementarity on duplicate-free footprints.
+    assert all(m + h == len(f) * TILE_BYTES
+               for m, h, f in zip(missing, held, foots))
+
+
+def test_bulk_priorities_match_scalar_keys():
+    """`MemoryAware.bulk_priorities` reproduces the scalar priority keys
+    (values and types) over a live fast hierarchy, both hierarchies."""
+    from repro.lap.policies import MemoryAware
+
+    for local_store_kb in LEVELS:
+        rt = make_runtime(True, policy="memory_aware",
+                          local_store_kb=local_store_kb)
+        graph = AlgorithmsByBlocks(TILE).cholesky_tasks(40)
+        rt.execute(graph, make_tiles(), verify=False)
+        arrays = graph.fast_arrays()
+        memory = rt.last_memory
+        policy = MemoryAware()
+        policy.bind_memory(memory)
+        indices = list(range(0, len(arrays.tasks), 3))
+        ready = [float(i) for i in range(len(indices))]
+        bulk = policy.bulk_priorities(arrays, memory, indices, ready)
+        assert len(bulk) == len(indices)
+        for pos, key, r in zip(indices, bulk, ready):
+            scalar = policy.priority(arrays.tasks[pos], r)
+            assert key == scalar
+            assert all(type(a) is type(b) for a, b in zip(key, scalar))
+        # Non-fast hierarchies fall back to scalar scoring.
+        assert policy.bulk_priorities(arrays, None, indices, ready) is None
+        assert policy.bulk_priorities(arrays, memory, [], []) == []
+
+
 # ----------------------------------------------------------------- replay
 def test_schedule_trace_payload_roundtrip():
     """The sidecar header round-trips everything `exact_for` depends on."""
@@ -263,3 +375,109 @@ def test_replay_delta_rows_equal_resimulation():
     forced = runner({**tight, "bandwidth_gbs": 64.0})
     assert REPLAY_STATS["forced"] == before["forced"] + 1
     assert forced == runner({**tight, "bandwidth_gbs": 64.0, "replay": "off"})
+
+
+def test_frequency_and_energy_replay_equal_resimulation():
+    """Chip-clock and off-chip-energy delta points replayed from a recorded
+    schedule are byte-identical (keys, order, values, types) to
+    re-simulating them, across non-greedy policies and both hierarchies --
+    including the re-keyed makespan_ns / energy_j / gflops_per_w columns."""
+    from repro.lap.fastpath import REPLAY_STATS
+
+    runner = get_runner("lap_runtime")
+    for policy, local_store_kb in (("memory_aware", None), ("affinity", 1.0)):
+        base = {"algorithm": "cholesky", "n": 48, "tile": 8, "num_cores": 2,
+                "nr": 4, "seed": 21, "timing": "memoized", "verify": False,
+                "policy": policy, "fast": True}
+        if local_store_kb is not None:
+            base["local_store_kb"] = local_store_kb
+        runner(dict(base))  # records the trace
+        for delta in ({"frequency_ghz": 2.0},
+                      {"offchip_pj_per_byte": 30.0},
+                      {"frequency_ghz": 0.5, "offchip_pj_per_byte": 120.0,
+                       "bandwidth_gbs": 64.0}):
+            before = dict(REPLAY_STATS)
+            replayed = runner({**base, **delta})
+            assert REPLAY_STATS["replayed"] == before["replayed"] + 1, delta
+            resim = runner({**base, **delta, "replay": "off"})
+            assert list(replayed) == list(resim), delta
+            for key in resim:
+                assert type(replayed[key]) is type(resim[key]), (delta, key)
+                assert replayed[key] == resim[key], (delta, key)
+
+
+def test_frequency_replay_rejections_force_resimulation():
+    """Heterogeneous clocks and spill-coupled stalls both disqualify the
+    frequency axis; the forced re-simulation still matches replay='off'."""
+    from repro.lap.fastpath import REPLAY_STATS
+
+    runner = get_runner("lap_runtime")
+    base = {"algorithm": "cholesky", "n": 48, "tile": 8, "num_cores": 2,
+            "nr": 4, "seed": 27, "timing": "memoized", "verify": False,
+            "fast": True}
+    # Heterogeneous per-core clocks (either side) reject the delta.
+    het = {**base, "core_frequencies_ghz": "1.0:2.0"}
+    runner(dict(het))
+    before = dict(REPLAY_STATS)
+    forced = runner({**het, "frequency_ghz": 2.0})
+    assert REPLAY_STATS["forced"] == before["forced"] + 1
+    assert forced == runner({**het, "frequency_ghz": 2.0, "replay": "off"})
+    # Spill traffic enters the cycle domain through clock-dependent stalls.
+    tight = {**base, "seed": 28, "on_chip_kb": 4.0}
+    first = runner(dict(tight))
+    assert first["spill_bytes"] > 0
+    before = dict(REPLAY_STATS)
+    forced = runner({**tight, "frequency_ghz": 2.0})
+    assert REPLAY_STATS["forced"] == before["forced"] + 1
+    assert forced == runner({**tight, "frequency_ghz": 2.0, "replay": "off"})
+
+
+def test_exact_for_energy_and_frequency_gates():
+    """`exact_for` widens only with full provenance: an energy-constant
+    delta needs the recorded constants plus per-task triples, a frequency
+    delta a known homogeneous recorded clock; header-only round trips
+    (which drop the triples) reject every re-keying delta."""
+    from repro.lap.fastpath import ScheduleTrace
+
+    kw = dict(policy="greedy", timing="memoized", stall_overlap=0.0,
+              effective_bandwidth_gbs=16.0, default_bandwidth_gbs=16.0,
+              total_spill_bytes=0.0, total_movement_cycles=0.0,
+              task_ids=[1], cores=[0], starts=[0.0], ends=[1.0])
+    triples = [(10.0, 100.0, 50.0)]
+    full = ScheduleTrace(**kw, makespan_cycles=100.0, frequency_ghz=1.0,
+                         homogeneous_cores=True,
+                         energy_constants=(1e-12, 2e-12, 60e-12),
+                         flush_writeback_bytes=64.0, energy_triples=triples)
+    # Unchanged constants replay without re-keying; a changed off-chip
+    # constant or clock is exact only because the triples allow re-keying.
+    assert full.exact_for(16.0, 0.0, frequency_ghz=1.0,
+                          offchip_energy_per_byte_j=60e-12)
+    assert full.exact_for(16.0, 0.0, offchip_energy_per_byte_j=30e-12)
+    assert full.exact_for(16.0, 0.0, frequency_ghz=2.0)
+    assert full.rekey_energy_j(2e-12, 1e-12, 30e-12) == (
+        (10.0 * 2e-12 + 100.0 * 1e-12) + 50.0 * 30e-12 + 64.0 * 30e-12)
+    # Heterogeneity on either side rejects the frequency axis.
+    assert not full.exact_for(16.0, 0.0, frequency_ghz=2.0,
+                              homogeneous_cores=False)
+    het = ScheduleTrace(**kw, frequency_ghz=1.0, homogeneous_cores=False,
+                        energy_constants=(1e-12, 2e-12, 60e-12),
+                        energy_triples=triples)
+    assert not het.exact_for(16.0, 0.0, frequency_ghz=2.0)
+    # The sidecar header drops the triples: the same deltas now reject,
+    # re-keying raises, and the unchanged point still replays.
+    header = ScheduleTrace.from_payload(full.to_payload())
+    assert not header.has_energy_triples
+    assert header.exact_for(16.0, 0.0, frequency_ghz=1.0,
+                            offchip_energy_per_byte_j=60e-12)
+    assert not header.exact_for(16.0, 0.0, offchip_energy_per_byte_j=30e-12)
+    assert not header.exact_for(16.0, 0.0, frequency_ghz=2.0)
+    with pytest.raises(ValueError):
+        header.rekey_energy_j(1e-12, 2e-12, 60e-12)
+    # No recorded constants at all: any energy check rejects outright.
+    bare = ScheduleTrace(**kw)
+    assert not bare.exact_for(16.0, 0.0, offchip_energy_per_byte_j=60e-12)
+    # An unknown recorded clock (legacy payload) rejects the axis.
+    legacy_payload = {k: v for k, v in full.to_payload().items()
+                      if k != "frequency_ghz"}
+    legacy = ScheduleTrace.from_payload(legacy_payload)
+    assert not legacy.exact_for(16.0, 0.0, frequency_ghz=2.0)
