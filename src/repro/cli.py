@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Provides seven sub-commands:
+Provides eight sub-commands:
 
 ``experiments``
     list or regenerate the tables/figures of the evaluation
@@ -29,7 +29,16 @@ Provides seven sub-commands:
     local-hit-rate and per-level traffic columns).  ``--stream`` consumes
     the executor's row stream directly and prints a live progress line
     (rows done / cache hit-rate / incremental Pareto frontier size)
-    instead of going silent until the sweep finishes.
+    instead of going silent until the sweep finishes.  ``--server URL``
+    adds a shared ``repro serve`` daemon as a second cache tier
+    (read-through/write-behind; degrades to local-only if the server goes
+    away), and ``--server URL --submit`` runs the whole sweep server-side,
+    streaming rows back over HTTP.
+``serve``
+    run the design-space service daemon: the content-addressed result
+    cache (and its replay sidecar) over HTTP plus a submit/poll sweep API
+    (``python -m repro.cli serve --port 8731``); see ``repro sweep
+    --server`` for the client side.
 ``cache``
     inspect and manage the on-disk sweep result cache
     (``python -m repro.cli cache stats`` / ``... cache prune --max-mb 64``
@@ -59,8 +68,9 @@ import numpy as np
 
 from repro.arch.lap_design import build_lap
 from repro.engine import (KNOWN_PARAMS, PARETO_OBJECTIVES, IncrementalPareto,
-                          ResultCache, SweepExecutor, SweepSpec,
-                          frontier_report, runner_names, sweep, usable_cache_dir)
+                          ResultCache, SweepExecutor, SweepResult, SweepSpec,
+                          execute_jobs, frontier_report, runner_names,
+                          usable_cache_dir)
 from repro.experiments.export import write_json
 from repro.experiments.registry import REGISTRY, run_experiment
 from repro.experiments.report import (format_value, render_table,
@@ -219,7 +229,7 @@ def _build_spec(args: argparse.Namespace) -> SweepSpec:
     return spec
 
 
-def _stream_sweep(jobs, args: argparse.Namespace, cache_dir: Optional[str],
+def _stream_sweep(jobs, args: argparse.Namespace, cache: Optional[ResultCache],
                   objectives: List[str]):
     """Run a sweep through the streaming executor with a live progress line.
 
@@ -236,7 +246,6 @@ def _stream_sweep(jobs, args: argparse.Namespace, cache_dir: Optional[str],
     """
     import time
 
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
     executor = SweepExecutor(mode=args.mode, max_workers=args.workers,
                              batch_size=args.batch_size, cache=cache)
     pareto = IncrementalPareto(objectives) if objectives else None
@@ -270,6 +279,91 @@ def _stream_sweep(jobs, args: argparse.Namespace, cache_dir: Optional[str],
     return stream.result()
 
 
+def _build_sweep_cache(args: argparse.Namespace,
+                       cache_dir: Optional[str]) -> Optional[ResultCache]:
+    """The sweep's cache tier: local disk, optionally backed by a server.
+
+    With ``--server`` the local cache composes with the shared daemon as a
+    read-through/write-behind tier; without a usable local directory the
+    remote tier is skipped too (with a warning), because the remote tier
+    is an extension of the local one, not a replacement.
+    """
+    if cache_dir is None:
+        if args.server:
+            print("warning: no usable local cache tier; ignoring --server "
+                  "(the remote tier extends the local one)", file=sys.stderr)
+        return None
+    if not args.server:
+        return ResultCache(cache_dir)
+    from repro.serve import RemoteCache
+
+    return RemoteCache(cache_dir, args.server)
+
+
+def _submit_sweep(spec: SweepSpec, jobs, args: argparse.Namespace):
+    """Run the sweep on a ``repro serve`` daemon (``--server --submit``).
+
+    Serialises the spec, submits it, then streams the rows back as
+    newline-delimited JSON (transparently reconnecting from the last row
+    on a dropped connection).  Returns a :class:`SweepResult` equivalent
+    to a local run resolved entirely through the server's cache, or an
+    error message string when the submission cannot proceed.
+    """
+    from repro.serve import ServeClient, ServerUnavailable
+
+    try:
+        payload = spec.to_payload()
+    except ValueError as exc:
+        return f"cannot submit this sweep: {exc}"
+    client = ServeClient(args.server)
+    rows: List[Optional[dict]] = [None] * len(jobs)
+    executed = 0
+    cached = 0
+    state = "failed"
+    summary = None
+    error = None
+    import time
+
+    started = time.perf_counter()
+    try:
+        sweep_id = client.submit_sweep(payload, args.runner, mode=args.mode,
+                                       max_workers=args.workers,
+                                       batch_size=args.batch_size)
+        for event in client.iter_sweep_rows(sweep_id):
+            if event.get("event") == "row":
+                index = event.get("index")
+                if isinstance(index, int) and 0 <= index < len(rows):
+                    rows[index] = event.get("row")
+                    if event.get("cached"):
+                        cached += 1
+                    else:
+                        executed += 1
+                if args.progress or args.stream:
+                    done = executed + cached
+                    print(f"\r{done}/{len(jobs)} rows (remote)", end="",
+                          file=sys.stderr, flush=True)
+            else:
+                state = event.get("state", "failed")
+                summary = event.get("summary")
+                error = event.get("error")
+    except ServerUnavailable as exc:
+        if args.progress or args.stream:
+            print(file=sys.stderr)
+        return (f"sweep submission failed: {exc}\n"
+                f"(re-run without --submit to execute locally)")
+    if args.progress or args.stream:
+        print(file=sys.stderr)
+    if state != "done" or any(row is None for row in rows):
+        detail = error or f"server reported state '{state}'"
+        return (f"remote sweep did not complete: {detail}\n"
+                f"(re-run without --submit to execute locally)")
+    summary = summary or {}
+    return SweepResult(jobs=list(jobs), rows=rows, executed=executed,
+                       cached=cached, mode=str(summary.get("mode", "remote")),
+                       elapsed_s=time.perf_counter() - started,
+                       cache_stats=summary.get("cache"))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if not (args.grid or args.zip or args.set):
         print("the sweep expands to no jobs; add --grid/--zip/--set axes",
@@ -299,21 +393,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     objectives = ([o.strip() for o in args.objectives.split(",") if o.strip()]
                   if args.objectives else list(PARETO_OBJECTIVES.get(args.runner, ())))
-    cache_dir = usable_cache_dir(None if args.no_cache else args.cache_dir)
-    try:
-        if args.stream:
-            result = _stream_sweep(jobs, args, cache_dir, objectives)
-        else:
-            result = sweep(jobs, mode=args.mode, max_workers=args.workers,
-                           batch_size=args.batch_size, cache_dir=cache_dir,
-                           progress=progress)
-    except (KeyError, ValueError, OverflowError, OSError) as exc:
+    if args.submit and not args.server:
+        print("--submit needs --server URL (the daemon that runs the sweep)",
+              file=sys.stderr)
+        return 2
+    if args.submit:
+        outcome = _submit_sweep(spec, jobs, args)
+        if isinstance(outcome, str):
+            print(outcome, file=sys.stderr)
+            return 2
+        result = outcome
+    else:
+        cache_dir = usable_cache_dir(None if args.no_cache else args.cache_dir)
+        try:
+            cache = _build_sweep_cache(args, cache_dir)
+            if args.stream:
+                result = _stream_sweep(jobs, args, cache, objectives)
+            else:
+                result = execute_jobs(jobs, mode=args.mode,
+                                      max_workers=args.workers,
+                                      batch_size=args.batch_size, cache=cache,
+                                      progress=progress)
+        except (KeyError, ValueError, OverflowError, OSError) as exc:
+            if args.progress and not args.stream:
+                print(file=sys.stderr)
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            return 2
         if args.progress and not args.stream:
             print(file=sys.stderr)
-        print(f"sweep failed: {exc}", file=sys.stderr)
-        return 2
-    if args.progress and not args.stream:
-        print(file=sys.stderr)
 
     # Persist the run's telemetry (shard wall times, job latencies, cache
     # hit-rate) next to the sweep output: an explicit --manifest path wins,
@@ -322,10 +429,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if manifest_target is None and args.json and args.json not in ("-", os.devnull):
         manifest_target = str(manifest_path_for(args.json))
     if manifest_target is not None:
+        extra: Dict[str, object] = {"output": args.json}
+        if args.server:
+            extra["server"] = args.server
+            extra["submitted"] = bool(args.submit)
+            if args.submit:
+                # The rows came from the daemon's cache/executor, not from
+                # a local tier; the stock tier derivation would say "local".
+                extra["cache_tier"] = "service"
         try:
             written = write_run_manifest(result, manifest_target,
-                                         runner=args.runner,
-                                         extra={"output": args.json})
+                                         runner=args.runner, extra=extra)
             print(f"wrote {written}", file=sys.stderr)
         except OSError as exc:
             print(f"warning: cannot write run manifest to "
@@ -369,6 +483,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         params = ", ".join(f"{k}={format_value(row[k])}" for k in axes
                            if k in row and k != metric)
         print(f"  {metric:<16s} {value:10.2f}  ({params})")
+    return 0
+
+
+# ------------------------------------------------------------------- serve
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeDaemon
+
+    cache_dir = usable_cache_dir(args.cache_dir, label="served cache directory")
+    if cache_dir is None:
+        return 2
+    max_bytes = (int(args.max_mb * 1024 * 1024)
+                 if args.max_mb is not None else None)
+    try:
+        daemon = ServeDaemon(cache_dir, host=args.host, port=args.port,
+                             max_bytes=max_bytes, quiet=args.quiet)
+    except (OSError, ValueError) as exc:
+        print(f"cannot start the design-space service: {exc}", file=sys.stderr)
+        return 2
+    print(f"serving {cache_dir} at {daemon.url} (Ctrl-C to stop)",
+          file=sys.stderr)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("\nstopping", file=sys.stderr)
+    finally:
+        daemon.httpd.server_close()
+        daemon.cache.persist_stats()
     return 0
 
 
@@ -675,6 +816,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="consume rows as they land: live stderr line "
                             "with rows done / cache hit-rate / incremental "
                             "Pareto frontier size (supersedes --progress)")
+    p_swp.add_argument("--server", metavar="URL", default=None,
+                       help="URL of a `repro serve` daemon used as a shared "
+                            "second cache tier (read-through/write-behind; "
+                            "degrades to local-only if the server goes away)")
+    p_swp.add_argument("--submit", action="store_true",
+                       help="with --server: run the sweep on the daemon "
+                            "itself and stream the rows back over HTTP")
     p_swp.add_argument("--json", metavar="PATH",
                        help="write rows + frontier as JSON to PATH ('-' for stdout)")
     p_swp.add_argument("--manifest", metavar="PATH", default=None,
@@ -683,6 +831,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "<json-output>.manifest.json when --json writes "
                             "to a file")
     p_swp.set_defaults(func=_cmd_sweep)
+
+    p_srv = sub.add_parser("serve",
+                           help="run the shared design-space service daemon")
+    p_srv.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"served cache directory (default: {DEFAULT_CACHE_DIR})")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8731,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8731)")
+    p_srv.add_argument("--max-mb", type=float, default=None,
+                       help="size budget in MB for the served cache "
+                            "(default: REPRO_CACHE_MAX_MB)")
+    p_srv.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access log lines")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_cache = sub.add_parser("cache", help="inspect or manage the sweep result cache")
     p_cache.add_argument("action", choices=["stats", "clear", "prune"],

@@ -23,6 +23,7 @@ import hashlib
 import json
 import os
 import pathlib
+import re
 import tempfile
 import time
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
@@ -30,6 +31,73 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 from repro.engine.spec import Job, params_key
 
 PathLike = Union[str, pathlib.Path]
+
+#: Shape of a valid content key (sha256 hex digest).  Key-addressed access
+#: (the ``repro serve`` HTTP tier) validates against this before touching
+#: the filesystem, so a malformed key can never escape the fan-out dirs.
+KEY_PATTERN = re.compile(r"^[0-9a-f]{64}$")
+
+
+def is_valid_key(key: object) -> bool:
+    """Whether ``key`` is a well-formed content key (sha256 hex digest)."""
+    return isinstance(key, str) and KEY_PATTERN.match(key) is not None
+
+
+def _fanout_path(directory: pathlib.Path, key: str) -> pathlib.Path:
+    if not is_valid_key(key):
+        raise ValueError(f"malformed content key {key!r}")
+    return directory / key[:2] / f"{key}.json"
+
+
+def _read_fanout_entry(directory: pathlib.Path, key: str) -> Optional[dict]:
+    """Raw JSON payload stored under ``key``, or ``None`` (best effort).
+
+    Refreshes the entry's mtime on a hit so key-addressed reads (the HTTP
+    tier) keep hot entries alive under LRU eviction exactly like job-keyed
+    reads do; corrupt entries are dropped so the next write can replace
+    them.
+    """
+    path = _fanout_path(directory, key)
+    try:
+        with path.open("r") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise TypeError("entry payload must be a dict")
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError, TypeError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass
+    return payload
+
+
+def _write_fanout_entry(directory: pathlib.Path, key: str,
+                        payload: Mapping) -> Optional[pathlib.Path]:
+    """Atomically store a raw payload under ``key`` (``None`` if unwritable)."""
+    path = _fanout_path(directory, key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    except OSError:
+        return None
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(dict(payload), handle, default=str)
+        os.replace(tmp_name, path)
+    except (OSError, TypeError, ValueError):
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        return None
+    return path
 
 #: Environment variable holding the default cache size budget in megabytes.
 CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
@@ -185,6 +253,17 @@ class SidecarStore:
                 pass
             return None
         self._account_put(path)
+        return path
+
+    def get_by_key(self, key: str) -> Optional[dict]:
+        """Raw record payload under a content key (HTTP-tier access)."""
+        return _read_fanout_entry(self.directory, key)
+
+    def put_by_key(self, key: str, payload: Mapping) -> Optional[pathlib.Path]:
+        """Store a raw record payload under a content key (best effort)."""
+        path = _write_fanout_entry(self.directory, key, payload)
+        if path is not None:
+            self._account_put(path)
         return path
 
     def _account_put(self, path: pathlib.Path) -> None:
@@ -522,6 +601,34 @@ class ResultCache:
 
     def __contains__(self, job: Job) -> bool:
         return self.path_for(job).is_file()
+
+    # ------------------------------------------------------- key-addressed
+    def get_by_key(self, key: str) -> Optional[dict]:
+        """The raw entry payload stored under a content key, or ``None``.
+
+        Key-addressed access for tiers that receive pre-hashed keys (the
+        ``repro serve`` HTTP daemon); the payload is the full stored
+        document (``runner`` / ``params`` / ``code_version`` / ``row``),
+        not just the row.  Counts as a hit/miss like :meth:`get`.
+        """
+        payload = _read_fanout_entry(self.directory, key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put_by_key(self, key: str, payload: Mapping) -> Optional[pathlib.Path]:
+        """Store a raw entry payload under a content key (atomic write).
+
+        Returns ``None`` when the directory is unwritable (key-addressed
+        writes are best-effort: the writer computed the row anyway).  The
+        entry participates in the LRU budget exactly like job-keyed writes.
+        """
+        path = _write_fanout_entry(self.directory, key, payload)
+        if path is not None:
+            self._account_put(path)
+        return path
 
     # ---------------------------------------------------------- management
     def _entry_paths(self) -> Iterator[pathlib.Path]:

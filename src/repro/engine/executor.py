@@ -189,6 +189,12 @@ class SweepStream:
     :meth:`result` drains any remaining rows and packages the run's
     :class:`SweepResult` (identical to what :meth:`SweepExecutor.run` on the
     same jobs returns).
+
+    A stream can be abandoned early: :meth:`close` (or leaving a
+    ``with stream:`` block) shuts the underlying worker pool down without
+    waiting for in-flight batches, so breaking out of the row loop never
+    hangs behind stragglers.  A closed stream's :meth:`result` reports only
+    the rows that had landed.
     """
 
     def __init__(self, events: Iterator[StreamRow], state: _StreamState) -> None:
@@ -205,6 +211,17 @@ class SweepStream:
         except StopIteration:
             self._exhausted = True
             raise
+
+    def close(self) -> None:
+        """Abandon the stream: cancel queued batches, don't wait for running ones."""
+        self._exhausted = True
+        self._events.close()
+
+    def __enter__(self) -> "SweepStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def total(self) -> int:
@@ -335,15 +352,22 @@ class SweepExecutor:
         state.executed = len(pending)
         self._report(state.cached, total)
         if hits:
-            # The zero-job shard entry: cache resolution is a real source of
-            # rows and gets a timing-table line even when nothing executed.
-            state.shard_timings.append({
-                "shard": CACHED_SHARD_ID,
-                "runner": jobs[hits[0][0]].runner,
-                "jobs": 0,
-                "cached": len(hits),
-                "elapsed_s": 0.0,
-            })
+            # The zero-job shard entries: cache resolution is a real source
+            # of rows and gets a timing-table line even when nothing
+            # executed -- one entry per runner (in first-hit job order), so
+            # mixed-runner sweeps attribute their hits to the right runner.
+            cached_by_runner: Dict[str, int] = {}
+            for index, _ in hits:
+                runner = jobs[index].runner
+                cached_by_runner[runner] = cached_by_runner.get(runner, 0) + 1
+            for runner, count in cached_by_runner.items():
+                state.shard_timings.append({
+                    "shard": CACHED_SHARD_ID,
+                    "runner": runner,
+                    "jobs": 0,
+                    "cached": count,
+                    "elapsed_s": 0.0,
+                })
         for index, row in hits:
             yield StreamRow(index=index, job=jobs[index], row=row, cached=True,
                             latency_s=None, elapsed_s=state.mark_row())
@@ -407,7 +431,7 @@ class SweepExecutor:
             shard_id += 1
 
         try:
-            with pool:
+            try:
                 while queue and len(inflight) < pool_workers:
                     submit_next()
                 while inflight:
@@ -424,33 +448,50 @@ class SweepExecutor:
                                                       batch_id)
                         done += len(batch)
                         self._report(done, total)
-        except concurrent.futures.BrokenExecutor:
-            if state.mode != "process":
-                raise
-            # A broken process pool (e.g. fork disallowed) degrades to a
-            # serial re-run of every job whose row is still missing.
-            state.mode = "serial"
-            missing = deque((index, job) for index, job in enumerate(state.jobs)
-                            if state.rows[index] is None)
-            while missing:
-                batch = self._next_batch(missing, workers)
-                outcome = _run_shard(batch[0][1].runner,
-                                     [job.params_dict for _, job in batch],
-                                     context)
-                yield from self._finish_batch(state, batch, outcome, shard_id)
-                shard_id += 1
-            self._report(total, total)
+            except concurrent.futures.BrokenExecutor:
+                if state.mode != "process":
+                    raise
+                # A broken process pool (e.g. fork disallowed) degrades to a
+                # serial re-run of every job whose row is still missing.
+                state.mode = "serial"
+                missing = deque((index, job) for index, job in enumerate(state.jobs)
+                                if state.rows[index] is None)
+                done = total - len(missing)
+                self._report(done, total)
+                while missing:
+                    batch = self._next_batch(missing, workers)
+                    outcome = _run_shard(batch[0][1].runner,
+                                         [job.params_dict for _, job in batch],
+                                         context)
+                    yield from self._finish_batch(state, batch, outcome,
+                                                  shard_id, fallback=True)
+                    shard_id += 1
+                    done += len(batch)
+                    self._report(done, total)
+        finally:
+            # Never wait for stragglers here: on the normal path every
+            # future has already completed, and when the consumer abandons
+            # the stream mid-iteration (break / Ctrl-C closes this
+            # generator) a blocking shutdown would hang the exit behind
+            # every in-flight batch.  Queued-but-unstarted batches are
+            # cancelled outright.
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def _finish_batch(self, state: _StreamState, batch: List[Tuple[int, Job]],
                       outcome: Tuple[List[dict], List[float]],
-                      shard_id: int) -> Iterator[StreamRow]:
+                      shard_id: int, fallback: bool = False) -> Iterator[StreamRow]:
         batch_rows, batch_seconds = outcome
-        state.shard_timings.append({
+        timing = {
             "shard": shard_id,
             "runner": batch[0][1].runner,
             "jobs": len(batch),
             "elapsed_s": float(sum(batch_seconds)),
-        })
+        }
+        if fallback:
+            # Serial re-runs after a broken pool stay distinguishable from
+            # regular shards in the timing table / run manifest.
+            timing["fallback"] = True
+        state.shard_timings.append(timing)
         for (index, job), row, seconds in zip(batch, batch_rows, batch_seconds):
             state.rows[index] = row
             state.latencies[index] = seconds

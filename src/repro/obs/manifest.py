@@ -16,6 +16,7 @@ The schema is deliberately flat and stable::
       "jobs": 12, "executed": 4, "cached": 8,
       "mode": "process", "elapsed_s": 1.23,
       "cache": {"hits": 8, "misses": 4, "hit_rate": 0.667, ...},
+      "cache_tier": "local+remote",    # "none" | "local" | "local+remote"
       "shards": [{"shard": 0, "runner": ..., "jobs": 3, "elapsed_s": ...}],
       "job_latency_s": [...],          # aligned with the job list; cached
       "job_params": [...],             # hits carry null latency
@@ -60,6 +61,13 @@ def build_run_manifest(result, runner: Optional[str] = None,
     caller-side context (output path, CLI arguments) into the document.
     """
     runners = sorted({job.runner for job in result.jobs})
+    cache_stats = result.cache_stats
+    if cache_stats is None:
+        cache_tier = "none"
+    else:
+        # A RemoteCache reports its tier ("local+remote", degrading to
+        # "local") in the counters; a plain ResultCache is the local tier.
+        cache_tier = str(cache_stats.get("tier", "local"))
     manifest: Dict[str, object] = {
         "schema": MANIFEST_SCHEMA,
         "runner": runner if runner is not None else (
@@ -69,7 +77,8 @@ def build_run_manifest(result, runner: Optional[str] = None,
         "cached": result.cached,
         "mode": result.mode,
         "elapsed_s": result.elapsed_s,
-        "cache": result.cache_stats,
+        "cache": cache_stats,
+        "cache_tier": cache_tier,
         "shards": list(result.shard_timings),
         "job_latency_s": list(result.job_latency_s),
         "job_params": [job.params_dict for job in result.jobs],

@@ -556,3 +556,64 @@ def test_cache_stats_reports_lifetime_counters(tmp_path, capsys):
     assert "hits          : 4 (lifetime)" in out
     assert "misses        : 4 (lifetime)" in out
     assert "hit_rate      : 50.0% (lifetime)" in out
+
+
+# ------------------------------------------------------------------- serve
+def test_sweep_submit_requires_server(capsys):
+    assert main(["sweep", "--runner", "design", "--set", "nr=4",
+                 "--grid", "cores=2,4", "--submit"]) == 2
+    assert "--submit needs --server" in capsys.readouterr().err
+
+
+def test_sweep_server_without_local_tier_warns_and_runs(capsys):
+    assert main(["sweep", "--runner", "design", "--set", "nr=4",
+                 "--grid", "cores=2,4", "--mode", "serial", "--no-cache",
+                 "--server", "http://127.0.0.1:1"]) == 0
+    captured = capsys.readouterr()
+    assert "ignoring --server" in captured.err
+    assert "2 jobs" in captured.out
+
+
+def test_serve_rejects_unusable_cache_dir(capsys):
+    assert main(["serve", "--cache-dir", "/proc/nope/x"]) == 2
+    assert "unusable" in capsys.readouterr().err
+
+
+def test_sweep_against_live_server_deduplicates(tmp_path, capsys):
+    from repro.serve import ServeDaemon
+
+    daemon = ServeDaemon(tmp_path / "server", quiet=True).start()
+    try:
+        base = ["sweep", "--runner", "design", "--set", "nr=4",
+                "--grid", "cores=2,4", "--mode", "serial",
+                "--server", daemon.url, "--json", "-"]
+        assert main(base + ["--cache-dir", str(tmp_path / "a")]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["executed"] == 2
+
+        # A second client with an empty local cache resolves everything
+        # through the shared server tier.
+        assert main(base + ["--cache-dir", str(tmp_path / "b")]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["executed"] == 0
+        assert second["cached"] == 2
+        assert json.dumps(second["rows"]) == json.dumps(first["rows"])
+
+        # --submit runs the sweep on the daemon itself.
+        assert main(["sweep", "--runner", "design", "--set", "nr=4",
+                     "--grid", "cores=2,4", "--server", daemon.url,
+                     "--submit", "--json", "-"]) == 0
+        submitted = json.loads(capsys.readouterr().out)
+        assert submitted["cached"] == 2
+        assert json.dumps(submitted["rows"]) == json.dumps(first["rows"])
+    finally:
+        daemon.stop()
+
+
+def test_sweep_submit_against_dead_server_fails_cleanly(tmp_path, capsys):
+    assert main(["sweep", "--runner", "design", "--set", "nr=4",
+                 "--grid", "cores=2,4", "--server", "http://127.0.0.1:1",
+                 "--submit"]) == 2
+    err = capsys.readouterr().err
+    assert "sweep submission failed" in err
+    assert "without --submit" in err

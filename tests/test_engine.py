@@ -866,3 +866,146 @@ def test_serial_and_parallel_sweeps_are_byte_identical(tmp_path):
                      batch_size=2)
     assert json.dumps(serial.rows, sort_keys=True) == \
         json.dumps(parallel.rows, sort_keys=True)
+
+
+# ------------------------------------------------------ spec serialisation
+class TestSpecSerialisation:
+    def test_round_trip_preserves_expansion(self):
+        spec = (SweepSpec().constants(nr=4, label="a")
+                .grid(cores=(2, 4), frequency_ghz=(1.0, 1.4))
+                .zip(a=(1, 2), b=(10, 20)))
+        rebuilt = SweepSpec.from_payload(spec.to_payload())
+        assert rebuilt.expand() == spec.expand()
+        # The payload itself is stable under a round trip (same axes, same
+        # order), so content-addressed submission is deterministic.
+        assert json.dumps(rebuilt.to_payload()) == json.dumps(spec.to_payload())
+
+    def test_payload_survives_json_round_trip(self):
+        spec = SweepSpec().constants(x=1.5).grid(a=(1, 2, 3))
+        wire = json.loads(json.dumps(spec.to_payload()))
+        assert SweepSpec.from_payload(wire).expand() == spec.expand()
+
+    def test_filters_refuse_to_serialise(self):
+        spec = SweepSpec().grid(a=(1, 2)).filter(lambda p: p["a"] == 1)
+        with pytest.raises(ValueError, match="filter"):
+            spec.to_payload()
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            SweepSpec.from_payload({"schema": "nope"})
+        with pytest.raises(TypeError, match="mapping"):
+            SweepSpec.from_payload(["not", "a", "mapping"])
+
+    def test_malformed_sections_rejected(self):
+        from repro.engine.spec import SPEC_SCHEMA
+
+        base = {"schema": SPEC_SCHEMA}
+        with pytest.raises(TypeError, match="constants"):
+            SweepSpec.from_payload({**base, "constants": [1]})
+        with pytest.raises(ValueError, match="grid"):
+            SweepSpec.from_payload({**base, "grid": [["a"]]})
+        with pytest.raises(ValueError, match="zip"):
+            SweepSpec.from_payload({**base, "zip": [[["a"]]]})
+
+
+# ----------------------------------------------------- executor regressions
+class TestExecutorRegressions:
+    def test_mixed_runner_cache_hits_get_per_runner_entries(self, tmp_path):
+        """Bugfix: a warm mixed-runner sweep records one zero-job cache
+        entry per runner instead of charging every hit to one runner."""
+        design = SweepSpec().constants(nr=4).grid(cores=(2, 4)).jobs("design")
+        chip = _chip_jobs(n_cores=(4,), bws=(8,))
+        jobs = design + chip
+        cache = ResultCache(tmp_path, code_version="v1")
+        execute_jobs(jobs, mode="serial", cache=cache)
+        warm = execute_jobs(jobs, mode="serial", cache=cache)
+        assert warm.cached == len(jobs)
+        zero = [s for s in warm.shard_timings if s["shard"] == -1]
+        assert {(s["runner"], s["cached"]) for s in zero} == \
+            {("design", 2), ("chip_gemm", 1)}
+        assert all(s["jobs"] == 0 for s in zero)
+
+    def test_abandoned_stream_does_not_wait_for_stragglers(self, monkeypatch):
+        """Bugfix: breaking out of a stream shuts the pool down without
+        draining in-flight batches, so abandoning a sweep is prompt."""
+        import time
+
+        from repro.engine import runners as runners_module
+        from repro.engine import stream_jobs
+
+        def dawdle(params):
+            time.sleep(0.25)
+            return {"i": params["i"]}
+
+        monkeypatch.setitem(runners_module.RUNNERS, "dawdle", dawdle)
+        jobs = [Job.create("dawdle", {"i": i}) for i in range(12)]
+        stream = stream_jobs(jobs, mode="thread", max_workers=2, batch_size=1)
+        next(stream)
+        started = time.monotonic()
+        stream.close()
+        # A blocking shutdown would drain the ~10 remaining 0.25 s jobs
+        # (seconds); cancelling and not waiting returns immediately.
+        assert time.monotonic() - started < 1.0
+        result = stream.result()
+        assert sum(1 for row in result.rows if row is not None) < len(jobs)
+
+    def test_stream_is_a_context_manager(self, monkeypatch):
+        import time
+
+        from repro.engine import runners as runners_module
+        from repro.engine import stream_jobs
+
+        def dawdle(params):
+            time.sleep(0.25)
+            return {"i": params["i"]}
+
+        monkeypatch.setitem(runners_module.RUNNERS, "dawdle", dawdle)
+        jobs = [Job.create("dawdle", {"i": i}) for i in range(8)]
+        started = time.monotonic()
+        with stream_jobs(jobs, mode="thread", max_workers=2,
+                         batch_size=1) as stream:
+            next(stream)  # abandon after the first row
+        assert time.monotonic() - started < 1.5
+
+    def test_broken_pool_fallback_reports_progress_and_tags_shards(
+            self, monkeypatch):
+        """Bugfix: the serial fallback after a broken process pool reports
+        progress per batch and tags its shard entries as fallback work."""
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.engine import runners as runners_module
+
+        class BrokenPool:
+            def __init__(self, max_workers):
+                pass
+
+            def submit(self, *args, **kwargs):
+                raise BrokenProcessPool("no forks today")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            BrokenPool)
+        monkeypatch.setitem(runners_module.RUNNERS, "stub",
+                            lambda p: {"i": p["i"]})
+        jobs = [Job.create("stub", {"i": i}) for i in range(6)]
+        calls = []
+        result = execute_jobs(jobs, mode="process", batch_size=2,
+                              progress=lambda d, t: calls.append((d, t)))
+        assert result.mode == "serial"
+        assert [row["i"] for row in result.rows] == list(range(6))
+        executed = [s for s in result.shard_timings if s["jobs"] > 0]
+        assert len(executed) == 3
+        assert all(s.get("fallback") is True for s in executed)
+        # Progress: initial cache report, the fallback baseline, then one
+        # call per re-run batch -- monotone and ending at (total, total).
+        assert calls[-1] == (6, 6)
+        assert [d for d, _ in calls] == sorted(d for d, _ in calls)
+        assert len(calls) >= 5
+
+    def test_regular_shards_are_not_tagged_fallback(self):
+        result = execute_jobs(_chip_jobs(n_cores=(4, 8), bws=(8,)),
+                              mode="thread", max_workers=2)
+        assert all("fallback" not in s for s in result.shard_timings)
